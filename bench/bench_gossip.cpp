@@ -1,0 +1,103 @@
+// E8 — Gossip period: dissemination latency vs bandwidth (paper §4.1–4.2).
+//
+// Claim: the gossip task is the only dissemination mechanism in the basic
+// protocol, so broadcast-to-delivery latency of a message tracks the gossip
+// period (plus one consensus round), while network traffic scales inversely
+// with it.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+using namespace abcast;
+using namespace abcast::bench;
+using namespace abcast::harness;
+
+namespace {
+
+struct GossipOutcome {
+  LatencyStats latency;
+  double msgs_per_delivered = 0;
+  double bytes_per_sec = 0;
+  double gossip_share = 0;     // fraction of datagrams that are gossip
+  double heartbeat_share = 0;  // fraction that are FD heartbeats
+};
+
+GossipOutcome run_once(Duration gossip_period, bool eager) {
+  ClusterConfig cfg;
+  cfg.sim.n = 3;
+  cfg.sim.seed = 800;
+  cfg.stack.ab.gossip_period = gossip_period;
+  cfg.stack.ab.eager_dissemination = eager;
+  Cluster c(cfg);
+  c.start_all();
+  // Broadcast from p2 (not the Paxos leader): the message must travel by
+  // gossip before the leader can propose it.
+  std::vector<MsgId> ids;
+  for (int i = 0; i < 60; ++i) {
+    ids.push_back(c.broadcast(2));
+    c.sim().run_for(millis(100));
+  }
+  c.await_delivery(ids, {}, seconds(600));
+  GossipOutcome out;
+  out.latency = latency_stats(c.oracle().latencies());
+  out.msgs_per_delivered =
+      static_cast<double>(c.sim().net_stats().sent) / 60.0;
+  out.bytes_per_sec = static_cast<double>(c.sim().net_stats().bytes_sent) /
+                      (static_cast<double>(c.sim().now()) / 1e9);
+  const auto& net = c.sim().net_stats();
+  const double sent = static_cast<double>(net.sent);
+  out.gossip_share = static_cast<double>(net.sent_of(MsgType::kAbGossip)) / sent;
+  out.heartbeat_share =
+      static_cast<double>(net.sent_of(MsgType::kFdHeartbeat)) / sent;
+  return out;
+}
+
+void run_tables() {
+  banner("E8: gossip period sweep",
+         "Claim: delivery latency of a non-leader's message ~ gossip period "
+         "+ one consensus round; traffic scales inversely with the period.");
+  Table t({"gossip period ms", "p50 ms", "p99 ms", "net msgs/delivered",
+           "net KB/s", "gossip %", "heartbeat %"});
+  for (const Duration period : {millis(5), millis(15), millis(30), millis(60),
+                                millis(120), millis(240)}) {
+    const auto out = run_once(period, false);
+    t.row({Table::num(static_cast<double>(period) / 1e6, 0),
+           Table::num(out.latency.p50_ms), Table::num(out.latency.p99_ms),
+           Table::num(out.msgs_per_delivered, 1),
+           Table::num(out.bytes_per_sec / 1e3, 1),
+           Table::num(out.gossip_share * 100, 0),
+           Table::num(out.heartbeat_share * 100, 0)});
+  }
+  t.print(std::cout);
+
+  banner("E8b: eager dissemination (relay-on-send)",
+         "Eagerly multisending each new message removes the gossip-period "
+         "term from latency at slight extra traffic (the crash-stop "
+         "baseline's dissemination mode).");
+  Table t2({"mode", "p50 ms", "p99 ms", "net msgs/delivered"});
+  const auto periodic = run_once(millis(60), false);
+  const auto eager = run_once(millis(60), true);
+  t2.row({"periodic 60ms", Table::num(periodic.latency.p50_ms),
+          Table::num(periodic.latency.p99_ms),
+          Table::num(periodic.msgs_per_delivered, 1)});
+  t2.row({"eager + 60ms repair", Table::num(eager.latency.p50_ms),
+          Table::num(eager.latency.p99_ms),
+          Table::num(eager.msgs_per_delivered, 1)});
+  t2.print(std::cout);
+}
+
+void BM_Gossip30ms(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once(millis(30), false).msgs_per_delivered);
+  }
+}
+BENCHMARK(BM_Gossip30ms)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

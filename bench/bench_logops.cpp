@@ -1,0 +1,98 @@
+// E1 — Minimal logging (paper §4.3, abstract).
+//
+// Claim: the basic Atomic Broadcast protocol performs ZERO log operations
+// beyond those of the Consensus black box — the AB column must be exactly 0.
+// Each §5 feature then adds precisely its own documented log operations.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+using namespace abcast;
+using namespace abcast::bench;
+using namespace abcast::harness;
+
+namespace {
+
+struct VariantSpec {
+  const char* name;
+  core::Options options;
+};
+
+std::vector<VariantSpec> variants() {
+  core::Options ckpt;
+  ckpt.checkpointing = true;
+  ckpt.checkpoint_period = millis(250);
+  core::Options batching;
+  batching.log_unordered = true;
+  core::Options batching_inc = batching;
+  batching_inc.incremental_unordered_log = true;
+  return {
+      {"basic (Fig.2)", core::Options::basic()},
+      {"+ckpt (5.1)", ckpt},
+      {"+unordered log (5.4)", batching},
+      {"+incremental (5.5)", batching_inc},
+      {"alternative (full)", core::Options::alternative()},
+  };
+}
+
+void run_table() {
+  banner("E1: log operations per layer",
+         "Claim: basic AB adds 0 log ops beyond Consensus; each extension "
+         "adds only its own.");
+  Table t({"variant", "n", "msgs", "rounds", "ab ops", "cons ops", "fd ops",
+           "ab/msg", "cons/msg", "total/msg"});
+  for (const auto& v : variants()) {
+    for (const std::uint32_t n : {3u, 5u}) {
+      ClusterConfig cfg;
+      cfg.sim.n = n;
+      cfg.sim.seed = 100 + n;
+      cfg.stack.ab = v.options;
+      Cluster c(cfg);
+      c.start_all();
+      const int kMsgs = 200;
+      const auto res = run_open_loop(c, kMsgs, 8, millis(20));
+      Cluster::LogOps total{};
+      for (ProcessId p = 0; p < n; ++p) {
+        const auto ops = c.log_ops(p);
+        total.ab += ops.ab;
+        total.consensus += ops.consensus;
+        total.fd += ops.fd;
+        total.total += ops.total;
+      }
+      const double per = static_cast<double>(kMsgs) * n;
+      t.row({v.name, std::to_string(n), std::to_string(kMsgs),
+             fmt_u64(res.rounds), fmt_u64(total.ab), fmt_u64(total.consensus),
+             fmt_u64(total.fd),
+             Table::num(static_cast<double>(total.ab) / per, 3),
+             Table::num(static_cast<double>(total.consensus) / per, 3),
+             Table::num(static_cast<double>(total.total) / per, 3)});
+    }
+  }
+  t.print(std::cout);
+  std::printf("\n(ops are summed over all n processes; '/msg' columns are "
+              "per delivered message per process)\n");
+}
+
+// Wall-clock cost of the full ordering pipeline per message, for reference.
+void BM_EndToEnd200Msgs(benchmark::State& state) {
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.sim.n = 3;
+    cfg.sim.seed = 1;
+    Cluster c(cfg);
+    c.start_all();
+    const auto res = run_open_loop(c, 200, 8, millis(20));
+    benchmark::DoNotOptimize(res.delivered);
+  }
+  state.counters["msgs"] = 200;
+}
+BENCHMARK(BM_EndToEnd200Msgs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Wall-clock microbenchmarks of the hot paths underneath the protocol:
+// codec, CRC, storage, scheduler, failure-detector tick, and one full
+// simulated round. These are the constants behind every virtual-time
+// experiment table.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "common/codec.hpp"
+#include "common/crc32.hpp"
+#include "core/app_msg.hpp"
+#include "sim/scheduler.hpp"
+#include "storage/file_storage.hpp"
+#include "storage/mem_storage.hpp"
+
+#include <filesystem>
+
+using namespace abcast;
+using namespace abcast::bench;
+
+namespace {
+
+void BM_CodecEncodeBatch(benchmark::State& state) {
+  std::vector<core::AppMsg> batch;
+  for (int i = 0; i < state.range(0); ++i) {
+    batch.push_back({MsgId{0, static_cast<std::uint64_t>(i + 1)},
+                     Bytes(128, 'x')});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::encode_batch(batch));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CodecEncodeBatch)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_CodecDecodeBatch(benchmark::State& state) {
+  std::vector<core::AppMsg> batch;
+  for (int i = 0; i < state.range(0); ++i) {
+    batch.push_back({MsgId{0, static_cast<std::uint64_t>(i + 1)},
+                     Bytes(128, 'x')});
+  }
+  const Bytes encoded = core::encode_batch(batch);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decode_batch(encoded));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CodecDecodeBatch)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_Crc32(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_MemStoragePut(benchmark::State& state) {
+  MemStableStorage storage;
+  const Bytes value(256, 'v');
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    storage.put("cons/prop/" + std::to_string(i++ % 1000), value);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemStoragePut);
+
+void BM_FileStoragePut(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("abcast_bench_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    FileStableStorage storage(dir, /*fsync_writes=*/false);
+    const Bytes value(256, 'v');
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      storage.put("cons/prop/" + std::to_string(i++ % 100), value);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FileStoragePut);
+
+void BM_FileStoragePutFsync(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("abcast_bench_f_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    FileStableStorage storage(dir, /*fsync_writes=*/true);
+    const Bytes value(256, 'v');
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      storage.put("cons/prop/" + std::to_string(i++ % 100), value);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FileStoragePutFsync);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler s;
+    for (int i = 0; i < 1000; ++i) {
+      s.schedule_at(i, [] {});
+    }
+    while (s.step()) {
+    }
+    benchmark::DoNotOptimize(s.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_SimulatedRoundTrip(benchmark::State& state) {
+  // One full ordering round (broadcast -> consensus -> delivery at all 3
+  // processes), including cluster construction.
+  for (auto _ : state) {
+    harness::ClusterConfig cfg;
+    cfg.sim.n = 3;
+    cfg.sim.seed = 1;
+    harness::Cluster c(cfg);
+    c.start_all();
+    const MsgId id = c.broadcast(0);
+    c.await_delivery({id});
+    benchmark::DoNotOptimize(c.oracle().global_order().size());
+  }
+}
+BENCHMARK(BM_SimulatedRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

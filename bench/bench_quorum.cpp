@@ -1,0 +1,139 @@
+// E12 — Quorum data path vs total-order data path (paper §6.3).
+//
+// Claim (the reason §6.3 exists): once configuration management is solved
+// by Atomic Broadcast, the data path can use plain weighted quorums —
+// cheaper than ordering every operation. This bench quantifies the gap in
+// the same simulator: quorum writes (version-read + install, 2 RTTs, no
+// ordering) against AB-ordered writes (one ordering round each).
+#include <benchmark/benchmark.h>
+
+#include "apps/kv_store.hpp"
+#include "apps/quorum.hpp"
+#include "apps/rsm.hpp"
+#include "bench_util.hpp"
+
+using namespace abcast;
+using namespace abcast::bench;
+using abcast::harness::Table;
+
+namespace {
+
+struct PathOutcome {
+  LatencyStats latency;
+  double msgs_per_op = 0;
+};
+
+PathOutcome run_quorum(std::uint32_t n, int ops, bool reads = false) {
+  sim::Simulation sim({.n = n, .seed = 1300 + n});
+  sim.set_node_factory([n](Env& env) {
+    return std::make_unique<apps::QuorumReplicaNode>(
+        env, core::StackConfig{}, apps::QuorumConfig::uniform(n));
+  });
+  sim.start_all();
+  const auto msgs_before = sim.net_stats().sent;
+  std::vector<Duration> latencies;
+  for (int i = 0; i < ops; ++i) {
+    auto* node = static_cast<apps::QuorumReplicaNode*>(
+        sim.node(static_cast<ProcessId>(i) % n));
+    auto done = std::make_shared<bool>(false);
+    const TimePoint start = sim.now();
+    if (reads) {
+      node->read("k" + std::to_string(i % 8),
+                 [done](std::optional<std::string>, apps::QuorumVersion) {
+                   *done = true;
+                 });
+    } else {
+      node->write("k" + std::to_string(i % 8), "v",
+                  [done] { *done = true; });
+    }
+    sim.run_until_pred([&] { return *done; }, sim.now() + seconds(60));
+    latencies.push_back(sim.now() - start);
+  }
+  PathOutcome out;
+  out.latency = latency_stats(latencies);
+  out.msgs_per_op =
+      static_cast<double>(sim.net_stats().sent - msgs_before) / ops;
+  return out;
+}
+
+// AB path: a linearizable operation (read or write) costs one ordering
+// round — the submitter waits until its own marker is delivered.
+PathOutcome run_ordered(std::uint32_t n, int ops) {
+  sim::Simulation sim({.n = n, .seed = 1400 + n});
+  sim.set_node_factory([](Env& env) {
+    return std::make_unique<apps::RsmNode>(
+        env, core::StackConfig{},
+        [] { return std::make_unique<apps::KvStore>(); });
+  });
+  sim.start_all();
+  auto node = [&sim](ProcessId p) {
+    return static_cast<apps::RsmNode*>(sim.node(p));
+  };
+  const auto msgs_before = sim.net_stats().sent;
+  std::vector<Duration> latencies;
+  for (int i = 0; i < ops; ++i) {
+    const ProcessId via = static_cast<ProcessId>(i) % n;
+    const TimePoint start = sim.now();
+    const std::uint64_t before = node(via)->rsm().applied();
+    node(via)->submit(
+        apps::KvCommand::put("k" + std::to_string(i % 8), "v"));
+    sim.run_until_pred(
+        [&] { return node(via)->rsm().applied() > before; },
+        sim.now() + seconds(60));
+    latencies.push_back(sim.now() - start);
+  }
+  PathOutcome out;
+  out.latency = latency_stats(latencies);
+  out.msgs_per_op =
+      static_cast<double>(sim.net_stats().sent - msgs_before) / ops;
+  return out;
+}
+
+void run_tables() {
+  banner("E12: quorum writes vs totally-ordered writes",
+         "Claim (§6.3): with configuration handled by AB, the data path "
+         "can use plain weighted quorums — fewer messages and no ordering "
+         "round per operation.");
+  Table t({"n", "operation", "path", "p50 ms", "p99 ms", "net msgs/op"});
+  const int kOps = 60;
+  for (const std::uint32_t n : {3u, 5u, 7u}) {
+    const auto qw = run_quorum(n, kOps);
+    t.row({std::to_string(n), "write", "quorum (6.3)",
+           Table::num(qw.latency.p50_ms), Table::num(qw.latency.p99_ms),
+           Table::num(qw.msgs_per_op, 1)});
+    const auto ow = run_ordered(n, kOps);
+    t.row({std::to_string(n), "write", "AB-ordered (RSM)",
+           Table::num(ow.latency.p50_ms), Table::num(ow.latency.p99_ms),
+           Table::num(ow.msgs_per_op, 1)});
+    const auto qr = run_quorum(n, kOps, /*reads=*/true);
+    t.row({std::to_string(n), "lin. read", "quorum (6.3)",
+           Table::num(qr.latency.p50_ms), Table::num(qr.latency.p99_ms),
+           Table::num(qr.msgs_per_op, 1)});
+    const auto onr = run_ordered(n, kOps);  // a read marker = one round
+    t.row({std::to_string(n), "lin. read", "AB-ordered (RSM)",
+           Table::num(onr.latency.p50_ms), Table::num(onr.latency.p99_ms),
+           Table::num(onr.msgs_per_op, 1)});
+  }
+  t.print(std::cout);
+  std::printf("\nReading: a quorum LINEARIZABLE READ is one direct RTT — "
+              "roughly half the AB ordering round it replaces. Writes pay "
+              "two phases and land close to an ordering round in a "
+              "zero-fsync simulator; the quorum store trades away general "
+              "RSM semantics for that read path and per-op independence.\n");
+}
+
+void BM_QuorumWrite(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_quorum(3, 30).msgs_per_op);
+  }
+}
+BENCHMARK(BM_QuorumWrite)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

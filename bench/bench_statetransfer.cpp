@@ -1,0 +1,110 @@
+// E5 — State transfer vs instance-by-instance catch-up (paper §5.3).
+//
+// Claim: a process that missed D rounds needs O(D) work (and messages) to
+// catch up by running the missed Consensus instances; adopting a state
+// message is O(1) in rounds — the gap widens linearly with downtime.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+using namespace abcast;
+using namespace abcast::bench;
+using namespace abcast::harness;
+
+namespace {
+
+struct CatchUp {
+  std::uint64_t missed_rounds = 0;
+  double catch_up_ms = 0;
+  std::uint64_t transfers = 0;       // state messages adopted
+  std::uint64_t messages = 0;        // network messages during catch-up
+  std::uint64_t state_bytes = 0;     // bytes in state messages
+};
+
+CatchUp run_once(int down_rounds, bool state_transfer,
+                 bool trimmed = false) {
+  ClusterConfig cfg;
+  cfg.sim.n = 3;
+  cfg.sim.seed = 500 + static_cast<std::uint64_t>(down_rounds);
+  cfg.stack.ab.checkpointing = true;
+  cfg.stack.ab.state_transfer = state_transfer;
+  cfg.stack.ab.trimmed_state_transfer = trimmed;
+  cfg.stack.ab.delta = 3;
+  Cluster c(cfg);
+  c.start_all();
+  auto warm = c.broadcast_many(0, 2);
+  c.await_delivery(warm);
+
+  c.sim().crash(2);
+  std::vector<MsgId> ids;
+  for (int i = 0; i < down_rounds; ++i) {
+    ids.push_back(c.broadcast(0));
+    c.sim().run_for(millis(60));
+  }
+  c.await_delivery(ids, {0, 1}, seconds(600));
+  const auto target = c.stack(0)->ab().round();
+
+  const auto msgs_before = c.sim().net_stats().sent;
+  const auto state_bytes_before =
+      c.sim().net_stats().bytes_by_type.count(MsgType::kAbState)
+          ? c.sim().net_stats().bytes_by_type.at(MsgType::kAbState)
+          : 0;
+  const TimePoint start = c.sim().now();
+  c.sim().recover(2);
+  c.sim().run_until_pred(
+      [&] { return c.stack(2)->ab().round() >= target; },
+      c.sim().now() + seconds(600));
+
+  CatchUp out;
+  out.missed_rounds = target - c.stack(2)->ab().metrics().replayed_rounds;
+  out.catch_up_ms = static_cast<double>(c.sim().now() - start) / 1e6;
+  out.transfers = c.stack(2)->ab().metrics().state_applied;
+  out.messages = c.sim().net_stats().sent - msgs_before;
+  const auto state_bytes_after =
+      c.sim().net_stats().bytes_by_type.count(MsgType::kAbState)
+          ? c.sim().net_stats().bytes_by_type.at(MsgType::kAbState)
+          : 0;
+  out.state_bytes = state_bytes_after - state_bytes_before;
+  return out;
+}
+
+void run_tables() {
+  banner("E5: catch-up after missing D rounds",
+         "Claim: per-instance catch-up costs O(D) time and messages; a "
+         "state transfer is ~constant — crossover at small D.");
+  Table t({"D rounds", "variant", "catch-up ms", "transfers", "net msgs",
+           "state KB"});
+  for (const int d : {5, 10, 20, 50, 100}) {
+    const auto replay = run_once(d, false);
+    t.row({std::to_string(d), "per-instance", Table::num(replay.catch_up_ms),
+           fmt_u64(replay.transfers), fmt_u64(replay.messages),
+           Table::num(static_cast<double>(replay.state_bytes) / 1e3, 1)});
+    const auto transfer = run_once(d, true);
+    t.row({std::to_string(d), "state transfer (5.3)",
+           Table::num(transfer.catch_up_ms), fmt_u64(transfer.transfers),
+           fmt_u64(transfer.messages),
+           Table::num(static_cast<double>(transfer.state_bytes) / 1e3, 1)});
+    const auto trim = run_once(d, true, true);
+    t.row({std::to_string(d), "trimmed transfer (5.3 opt)",
+           Table::num(trim.catch_up_ms), fmt_u64(trim.transfers),
+           fmt_u64(trim.messages),
+           Table::num(static_cast<double>(trim.state_bytes) / 1e3, 1)});
+  }
+  t.print(std::cout);
+}
+
+void BM_CatchUp50RoundsTransfer(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_once(50, true).catch_up_ms);
+  }
+}
+BENCHMARK(BM_CatchUp50RoundsTransfer)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Shared machinery for the experiment binaries: workload drivers over the
+// simulated cluster, latency statistics, and fsync-cost projection.
+//
+// All experiment numbers are *virtual-time* measurements from the
+// deterministic simulator, so runs are reproducible; wall-clock
+// microbenchmarks of hot paths use google-benchmark (see bench_micro and
+// the per-binary registrations).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/fixture.hpp"
+#include "harness/table.hpp"
+
+namespace abcast::bench {
+
+struct LatencyStats {
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  std::size_t samples = 0;
+};
+
+inline LatencyStats latency_stats(const std::vector<Duration>& latencies) {
+  LatencyStats s;
+  if (latencies.empty()) return s;
+  std::vector<Duration> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0;
+  for (const auto l : sorted) sum += static_cast<double>(l);
+  s.samples = sorted.size();
+  s.mean_ms = sum / static_cast<double>(sorted.size()) / 1e6;
+  s.p50_ms = static_cast<double>(sorted[sorted.size() / 2]) / 1e6;
+  s.p99_ms =
+      static_cast<double>(sorted[sorted.size() * 99 / 100]) / 1e6;
+  return s;
+}
+
+struct WorkloadResult {
+  std::uint64_t delivered = 0;
+  Duration elapsed = 0;  // virtual time from first broadcast to last delivery
+  LatencyStats latency;
+  std::uint64_t rounds = 0;      // max round reached
+  std::uint64_t net_messages = 0;
+  std::uint64_t net_bytes = 0;
+
+  double throughput_per_sec() const {
+    if (elapsed <= 0) return 0;
+    return static_cast<double>(delivered) /
+           (static_cast<double>(elapsed) / 1e9);
+  }
+};
+
+/// Open-loop driver: submits `total` messages in batches of `batch` from
+/// round-robin senders, one batch every `gap`; waits for full delivery at
+/// every process.
+inline WorkloadResult run_open_loop(harness::Cluster& c, int total,
+                                    int batch, Duration gap,
+                                    Duration timeout = seconds(600)) {
+  const auto net_before = c.sim().net_stats();
+  const TimePoint start = c.sim().now();
+  std::vector<MsgId> ids;
+  ids.reserve(static_cast<std::size_t>(total));
+  int sent = 0;
+  ProcessId sender = 0;
+  while (sent < total) {
+    for (int b = 0; b < batch && sent < total; ++b, ++sent) {
+      while (!c.sim().host(sender).is_up()) {
+        sender = (sender + 1) % c.sim().n();
+      }
+      ids.push_back(c.broadcast(sender));
+      sender = (sender + 1) % c.sim().n();
+    }
+    c.sim().run_for(gap);
+  }
+  c.await_delivery(ids, {}, timeout);
+
+  WorkloadResult r;
+  r.delivered = c.oracle().global_order().size();
+  r.elapsed = c.sim().now() - start;
+  r.latency = latency_stats(c.oracle().latencies());
+  for (ProcessId p = 0; p < c.sim().n(); ++p) {
+    if (c.stack(p) != nullptr) {
+      r.rounds = std::max(r.rounds, c.stack(p)->ab().round());
+    }
+  }
+  r.net_messages = c.sim().net_stats().sent - net_before.sent;
+  r.net_bytes = c.sim().net_stats().bytes_sent - net_before.bytes_sent;
+  return r;
+}
+
+/// Closed-loop driver: one outstanding message at a time (the basic
+/// protocol's "A-broadcast returns when delivered" semantics).
+inline WorkloadResult run_closed_loop(harness::Cluster& c, int total,
+                                      Duration timeout = seconds(600)) {
+  const auto net_before = c.sim().net_stats();
+  const TimePoint start = c.sim().now();
+  for (int i = 0; i < total; ++i) {
+    const MsgId id = c.broadcast(0);
+    c.await_delivery({id}, {}, timeout);
+  }
+  WorkloadResult r;
+  r.delivered = c.oracle().global_order().size();
+  r.elapsed = c.sim().now() - start;
+  r.latency = latency_stats(c.oracle().latencies());
+  r.rounds = c.stack(0)->ab().round();
+  r.net_messages = c.sim().net_stats().sent - net_before.sent;
+  r.net_bytes = c.sim().net_stats().bytes_sent - net_before.bytes_sent;
+  return r;
+}
+
+/// Projects end-to-end latency when each log operation on the critical
+/// path costs `fsync_ms` (the simulator itself charges log ops zero time).
+inline double project_latency_ms(double base_ms, double log_ops_per_msg,
+                                 double fsync_ms) {
+  return base_ms + log_ops_per_msg * fsync_ms;
+}
+
+inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+/// Prints the standard experiment banner.
+inline void banner(const char* id, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", id, claim);
+}
+
+}  // namespace abcast::bench

@@ -1,0 +1,76 @@
+// Quickstart: Atomic Broadcast in ~60 lines.
+//
+// Three processes A-broadcast messages concurrently; every process delivers
+// them in the same total order, and a crashed process recovers the full
+// order from its stable storage. Run:  ./quickstart
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/delivery_sink.hpp"
+#include "core/node_stack.hpp"
+#include "sim/simulation.hpp"
+
+using namespace abcast;
+
+namespace {
+
+// The application: print every delivery in order. The printer survives the
+// simulated crash (it plays the role of an external observer), so it can
+// label the re-deliveries a recovering process replays from its logs.
+class Printer final : public core::DeliverySink {
+ public:
+  explicit Printer(ProcessId pid) : pid_(pid) {}
+
+  void deliver(const core::AppMsg& msg) override {
+    const bool replay = !seen_.insert(msg.id).second;
+    std::printf("  p%u delivers #%llu from p%u: \"%s\"%s\n", pid_,
+                static_cast<unsigned long long>(++count_), msg.id.sender,
+                std::string(msg.payload.begin(), msg.payload.end()).c_str(),
+                replay ? "   (replayed after recovery)" : "");
+  }
+
+ private:
+  ProcessId pid_;
+  std::uint64_t count_ = 0;
+  std::set<MsgId> seen_;
+};
+
+Bytes text(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+}  // namespace
+
+int main() {
+  // A deterministic 3-process asynchronous system with a lossy network.
+  sim::Simulation sim({.n = 3, .seed = 2026});
+  std::vector<Printer> apps{Printer{0}, Printer{1}, Printer{2}};
+  sim.set_node_factory([&apps](Env& env) {
+    // One NodeStack = failure detector + consensus + atomic broadcast.
+    return std::make_unique<core::NodeStack>(env, core::StackConfig{},
+                                             apps[env.self()]);
+  });
+  sim.start_all();
+  auto stack = [&sim](ProcessId p) {
+    return static_cast<core::NodeStack*>(sim.node(p));
+  };
+
+  std::printf("== concurrent broadcasts from all three processes ==\n");
+  stack(0)->ab().broadcast(text("alpha from p0"));
+  stack(1)->ab().broadcast(text("beta from p1"));
+  stack(2)->ab().broadcast(text("gamma from p2"));
+  sim.run_for(seconds(2));
+
+  std::printf("\n== p2 crashes, misses a message, recovers, catches up ==\n");
+  sim.crash(2);
+  const MsgId missed = stack(0)->ab().broadcast(text("sent while p2 down"));
+  sim.run_for(seconds(2));
+  sim.recover(2);  // p2 replays the order from its logs + gossip
+  sim.run_until_pred(
+      [&] { return stack(2)->ab().is_delivered(missed); }, seconds(30));
+
+  std::printf("\nall processes delivered %llu messages in the same order\n",
+              static_cast<unsigned long long>(stack(0)->ab().round() > 0
+                                                  ? stack(0)->ab().agreed().total()
+                                                  : 0));
+  return 0;
+}

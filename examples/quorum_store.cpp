@@ -1,0 +1,87 @@
+// Quorum-replicated store with AB-ordered vote reassignment (paper §6.3).
+//
+// Five replicas serve reads/writes from weighted quorums — no total order
+// on the data path — while configuration changes (vote reassignment) are
+// agreed through Atomic Broadcast. The demo re-weights the system at
+// runtime to keep a "primary site" in every quorum, then proves the new
+// configuration is live. Run:  ./quorum_store
+#include <cstdio>
+
+#include "apps/quorum.hpp"
+#include "sim/simulation.hpp"
+
+using namespace abcast;
+using namespace abcast::apps;
+
+int main() {
+  sim::Simulation sim({.n = 5, .seed = 77});
+  sim.set_node_factory([](Env& env) {
+    return std::make_unique<QuorumReplicaNode>(env, core::StackConfig{},
+                                               QuorumConfig::uniform(5));
+  });
+  sim.start_all();
+  auto node = [&sim](ProcessId p) {
+    return static_cast<QuorumReplicaNode*>(sim.node(p));
+  };
+  // Quorum callbacks can outlive the await (ops retry until a quorum is
+  // reachable), so they own their state via shared_ptr.
+  auto write = [&](ProcessId via, std::string key, std::string value) {
+    auto done = std::make_shared<bool>(false);
+    node(via)->write(std::move(key), std::move(value),
+                     [done] { *done = true; });
+    return sim.run_until_pred([&] { return *done; }, sim.now() + seconds(30));
+  };
+  auto read = [&](ProcessId via, std::string key) {
+    auto out = std::make_shared<std::string>("<none>");
+    auto done = std::make_shared<bool>(false);
+    node(via)->read(std::move(key),
+                    [out, done](std::optional<std::string> v,
+                                QuorumVersion ver) {
+                      if (v) {
+                        *out = *v + "  (version " +
+                               std::to_string(ver.counter) + ")";
+                      }
+                      *done = true;
+                    });
+    sim.run_until_pred([&] { return *done; }, sim.now() + seconds(30));
+    return *out;
+  };
+
+  std::printf("== uniform voting (1 vote each, R = W = 3) ==\n");
+  write(0, "motd", "hello from p0");
+  std::printf("read via p4: %s\n", read(4, "motd").c_str());
+
+  std::printf("\n== two replicas crash; a 3-vote quorum remains ==\n");
+  sim.crash(3);
+  sim.crash(4);
+  write(1, "motd", "written with two replicas down");
+  std::printf("read via p2: %s\n", read(2, "motd").c_str());
+  sim.recover(3);
+  sim.recover(4);
+
+  std::printf("\n== vote reassignment via Atomic Broadcast: p0 becomes a "
+              "primary site (3 votes, R = W = 4) ==\n");
+  QuorumConfig weighted;
+  weighted.votes = {3, 1, 1, 1, 1};
+  weighted.read_quorum = 4;
+  weighted.write_quorum = 4;
+  node(2)->propose_config(weighted);
+  sim.run_until_pred(
+      [&] {
+        for (ProcessId p = 0; p < 5; ++p) {
+          if (node(p)->epoch() != 1) return false;
+        }
+        return true;
+      },
+      sim.now() + seconds(30));
+  std::printf("all replicas installed epoch 1 in the same order\n");
+
+  std::printf("p0 plus any light replica now forms a quorum:\n");
+  sim.crash(2);
+  sim.crash(3);
+  sim.crash(4);
+  const bool ok = write(0, "motd", "anchored by the primary site");
+  std::printf("write with three replicas down: %s\n", ok ? "ok" : "BLOCKED");
+  std::printf("read via p1: %s\n", read(1, "motd").c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+#include "apps/deferred_update.hpp"
+
+#include <algorithm>
+
+namespace abcast::apps {
+
+void CertRequest::encode(BufWriter& w) const {
+  w.vec(read_set, [](BufWriter& ww, const auto& rv) {
+    ww.str(rv.first);
+    ww.u64(rv.second);
+  });
+  w.vec(write_set, [](BufWriter& ww, const auto& kv) {
+    ww.str(kv.first);
+    ww.str(kv.second);
+  });
+}
+
+CertRequest CertRequest::decode(BufReader& r) {
+  CertRequest req;
+  req.read_set = r.vec<std::pair<std::string, std::uint64_t>>([](BufReader& rr) {
+    auto k = rr.str();
+    auto v = rr.u64();
+    return std::pair{std::move(k), v};
+  });
+  req.write_set = r.vec<std::pair<std::string, std::string>>([](BufReader& rr) {
+    auto k = rr.str();
+    auto v = rr.str();
+    return std::pair{std::move(k), std::move(v)};
+  });
+  return req;
+}
+
+std::optional<std::string> DeferredUpdateDb::Txn::get(const std::string& key) {
+  // Read-your-own-writes within the transaction.
+  for (auto it = req_.write_set.rbegin(); it != req_.write_set.rend(); ++it) {
+    if (it->first == key) return it->second;
+  }
+  // Record the committed version we depend on (0 = "expect absent").
+  const std::uint64_t version = db_.version_of(key);
+  const auto already = std::find_if(
+      req_.read_set.begin(), req_.read_set.end(),
+      [&](const auto& rv) { return rv.first == key; });
+  if (already == req_.read_set.end()) {
+    req_.read_set.emplace_back(key, version);
+  }
+  return db_.read_committed(key);
+}
+
+void DeferredUpdateDb::Txn::put(std::string key, std::string value) {
+  req_.write_set.emplace_back(std::move(key), std::move(value));
+}
+
+Bytes DeferredUpdateDb::Txn::commit_request() const {
+  return encode_to_bytes(req_);
+}
+
+void DeferredUpdateDb::apply(const Bytes& command) {
+  CertRequest req;
+  try {
+    req = decode_from_bytes<CertRequest>(command);
+  } catch (const CodecError&) {
+    rejected_ += 1;
+    return;
+  }
+  // Certification: the transaction commits iff everything it read is still
+  // current. Deterministic, so every replica decides identically.
+  for (const auto& [key, version] : req.read_set) {
+    if (version_of(key) != version) {
+      aborted_ += 1;
+      return;
+    }
+  }
+  for (const auto& [key, value] : req.write_set) {
+    Record& rec = data_[key];
+    rec.value = value;
+    rec.version += 1;
+  }
+  committed_ += 1;
+}
+
+std::optional<std::string> DeferredUpdateDb::read_committed(
+    const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+std::uint64_t DeferredUpdateDb::version_of(const std::string& key) const {
+  auto it = data_.find(key);
+  return it == data_.end() ? 0 : it->second.version;
+}
+
+Bytes DeferredUpdateDb::snapshot() const {
+  BufWriter w;
+  w.map(data_, [](BufWriter& ww, const std::string& k, const Record& rec) {
+    ww.str(k);
+    ww.str(rec.value);
+    ww.u64(rec.version);
+  });
+  w.u64(committed_);
+  w.u64(aborted_);
+  w.u64(rejected_);
+  return std::move(w).take();
+}
+
+void DeferredUpdateDb::restore(const Bytes& snapshot) {
+  data_.clear();
+  committed_ = aborted_ = rejected_ = 0;
+  if (snapshot.empty()) return;
+  BufReader r(snapshot);
+  data_ = r.map<std::string, Record>([](BufReader& rr) {
+    auto k = rr.str();
+    Record rec;
+    rec.value = rr.str();
+    rec.version = rr.u64();
+    return std::pair{std::move(k), std::move(rec)};
+  });
+  committed_ = r.u64();
+  aborted_ = r.u64();
+  rejected_ = r.u64();
+  r.expect_done();
+}
+
+std::uint64_t DeferredUpdateDb::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix_str = [&h](const std::string& s) {
+    for (const char ch : s) {
+      h ^= static_cast<std::uint8_t>(ch);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ull;
+  };
+  for (const auto& [k, rec] : data_) {
+    mix_str(k);
+    mix_str(rec.value);
+    h ^= rec.version;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace abcast::apps

@@ -1,0 +1,84 @@
+// Deferred-update replicated database with Atomic-Broadcast-based
+// certification (paper §6.2, after Pedone-Guerraoui-Schiper).
+//
+// A transaction executes locally against one replica, collecting the
+// versions it read and buffering its writes. At commit time the pair
+// (read set, write set) is A-broadcast; every replica certifies delivered
+// transactions in the same total order: commit iff every read version is
+// still current, else abort. Since certification is deterministic and the
+// order is total, all replicas take the same decision and stay identical —
+// no atomic commitment protocol needed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/state_machine.hpp"
+#include "common/codec.hpp"
+#include "common/types.hpp"
+
+namespace abcast::apps {
+
+/// A certification request: what the transaction read (with versions) and
+/// what it intends to write.
+struct CertRequest {
+  std::vector<std::pair<std::string, std::uint64_t>> read_set;
+  std::vector<std::pair<std::string, std::string>> write_set;
+
+  void encode(BufWriter& w) const;
+  static CertRequest decode(BufReader& r);
+};
+
+class DeferredUpdateDb final : public StateMachine {
+ public:
+  /// Client-side transaction handle. Reads go through the local replica and
+  /// record versions; writes are buffered (and visible to this
+  /// transaction's own reads).
+  class Txn {
+   public:
+    explicit Txn(const DeferredUpdateDb& db) : db_(db) {}
+
+    std::optional<std::string> get(const std::string& key);
+    void put(std::string key, std::string value);
+
+    /// Serializes the certification request for A-broadcast.
+    Bytes commit_request() const;
+
+   private:
+    const DeferredUpdateDb& db_;
+    CertRequest req_;
+  };
+
+  Txn begin() const { return Txn(*this); }
+
+  // StateMachine: apply() certifies one delivered request.
+  void apply(const Bytes& command) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+
+  std::optional<std::string> read_committed(const std::string& key) const;
+  std::uint64_t version_of(const std::string& key) const;
+
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t aborted() const { return aborted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+  /// Order-sensitive digest (data + versions) for convergence checks.
+  std::uint64_t digest() const;
+
+ private:
+  struct Record {
+    std::string value;
+    std::uint64_t version = 0;
+  };
+
+  std::map<std::string, Record> data_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t aborted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace abcast::apps

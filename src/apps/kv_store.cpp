@@ -1,0 +1,161 @@
+#include "apps/kv_store.hpp"
+
+namespace abcast::apps {
+
+void KvCommand::encode(BufWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(op));
+  w.str(key);
+  w.str(value);
+  w.str(expect);
+  w.i64(delta);
+}
+
+KvCommand KvCommand::decode(BufReader& r) {
+  KvCommand c;
+  c.op = static_cast<Op>(r.u8());
+  c.key = r.str();
+  c.value = r.str();
+  c.expect = r.str();
+  c.delta = r.i64();
+  return c;
+}
+
+Bytes KvCommand::put(std::string key, std::string value) {
+  KvCommand c;
+  c.op = Op::kPut;
+  c.key = std::move(key);
+  c.value = std::move(value);
+  return encode_to_bytes(c);
+}
+
+Bytes KvCommand::del(std::string key) {
+  KvCommand c;
+  c.op = Op::kDel;
+  c.key = std::move(key);
+  return encode_to_bytes(c);
+}
+
+Bytes KvCommand::add(std::string key, std::int64_t delta) {
+  KvCommand c;
+  c.op = Op::kAdd;
+  c.key = std::move(key);
+  c.delta = delta;
+  return encode_to_bytes(c);
+}
+
+Bytes KvCommand::cas(std::string key, std::string expect, std::string value) {
+  KvCommand c;
+  c.op = Op::kCas;
+  c.key = std::move(key);
+  c.expect = std::move(expect);
+  c.value = std::move(value);
+  return encode_to_bytes(c);
+}
+
+namespace {
+
+std::int64_t as_int(const std::string& s) {
+  try {
+    return std::stoll(s);
+  } catch (...) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+void KvStore::apply(const Bytes& command) {
+  KvCommand c;
+  try {
+    c = decode_from_bytes<KvCommand>(command);
+  } catch (const CodecError&) {
+    // Deterministic rejection: every replica sees the same bytes.
+    rejected_ += 1;
+    return;
+  }
+  switch (c.op) {
+    case KvCommand::Op::kPut:
+      data_[c.key] = c.value;
+      break;
+    case KvCommand::Op::kDel:
+      data_.erase(c.key);
+      break;
+    case KvCommand::Op::kAdd: {
+      auto it = data_.find(c.key);
+      const std::int64_t cur = it == data_.end() ? 0 : as_int(it->second);
+      data_[c.key] = std::to_string(cur + c.delta);
+      break;
+    }
+    case KvCommand::Op::kCas: {
+      auto it = data_.find(c.key);
+      if (it != data_.end() && it->second == c.expect) {
+        it->second = c.value;
+      } else {
+        failed_cas_ += 1;
+      }
+      break;
+    }
+    default:
+      rejected_ += 1;
+      return;
+  }
+  applied_ += 1;
+}
+
+Bytes KvStore::snapshot() const {
+  BufWriter w;
+  w.map(data_, [](BufWriter& ww, const std::string& k, const std::string& v) {
+    ww.str(k);
+    ww.str(v);
+  });
+  w.u64(applied_);
+  w.u64(rejected_);
+  w.u64(failed_cas_);
+  return std::move(w).take();
+}
+
+void KvStore::restore(const Bytes& snapshot) {
+  data_.clear();
+  applied_ = rejected_ = failed_cas_ = 0;
+  if (snapshot.empty()) return;  // initial state
+  BufReader r(snapshot);
+  data_ = r.map<std::string, std::string>([](BufReader& rr) {
+    auto k = rr.str();
+    auto v = rr.str();
+    return std::pair{std::move(k), std::move(v)};
+  });
+  applied_ = r.u64();
+  rejected_ = r.u64();
+  failed_cas_ = r.u64();
+  r.expect_done();
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t KvStore::get_int(const std::string& key) const {
+  auto v = get(key);
+  return v ? as_int(*v) : 0;
+}
+
+std::uint64_t KvStore::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](const std::string& s) {
+    for (const char ch : s) {
+      h ^= static_cast<std::uint8_t>(ch);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ull;
+  };
+  for (const auto& [k, v] : data_) {
+    mix(k);
+    mix(v);
+  }
+  return h;
+}
+
+}  // namespace abcast::apps

@@ -1,0 +1,66 @@
+// Replicated key-value store: the canonical state machine over Atomic
+// Broadcast (software-based replication, paper §1 and [8]).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/state_machine.hpp"
+#include "common/codec.hpp"
+
+namespace abcast::apps {
+
+/// Commands understood by KvStore. Encode with KvCommand::encode and submit
+/// the bytes through RsmNode::submit / A-broadcast.
+struct KvCommand {
+  enum class Op : std::uint8_t {
+    kPut = 1,   // store[key] = value
+    kDel = 2,   // erase key
+    kAdd = 3,   // store[key] = as_int(store[key]) + delta (missing = 0)
+    kCas = 4,   // if store[key] == expect then store[key] = value
+  };
+
+  Op op = Op::kPut;
+  std::string key;
+  std::string value;
+  std::string expect;       // kCas only
+  std::int64_t delta = 0;   // kAdd only
+
+  void encode(BufWriter& w) const;
+  static KvCommand decode(BufReader& r);
+
+  static Bytes put(std::string key, std::string value);
+  static Bytes del(std::string key);
+  static Bytes add(std::string key, std::int64_t delta);
+  static Bytes cas(std::string key, std::string expect, std::string value);
+};
+
+class KvStore final : public StateMachine {
+ public:
+  void apply(const Bytes& command) override;
+  Bytes snapshot() const override;
+  void restore(const Bytes& snapshot) override;
+
+  std::optional<std::string> get(const std::string& key) const;
+  /// Numeric read for kAdd counters (missing or non-numeric = 0).
+  std::int64_t get_int(const std::string& key) const;
+  std::size_t size() const { return data_.size(); }
+
+  /// Order-sensitive digest of the full contents; equal digests across
+  /// replicas certify convergence.
+  std::uint64_t digest() const;
+
+  std::uint64_t applied_commands() const { return applied_; }
+  std::uint64_t rejected_commands() const { return rejected_; }
+  std::uint64_t failed_cas() const { return failed_cas_; }
+
+ private:
+  std::map<std::string, std::string> data_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t rejected_ = 0;   // malformed commands (rejected, not fatal)
+  std::uint64_t failed_cas_ = 0;
+};
+
+}  // namespace abcast::apps

@@ -1,0 +1,25 @@
+#include "apps/rsm.hpp"
+
+namespace abcast::apps {
+
+Rsm::Rsm(std::unique_ptr<StateMachine> machine, ApplyObserver observer)
+    : machine_(std::move(machine)), observer_(std::move(observer)) {}
+
+void Rsm::deliver(const core::AppMsg& msg) {
+  machine_->apply(msg.payload);
+  applied_ += 1;
+  if (observer_) observer_(msg);
+}
+
+Bytes Rsm::take_checkpoint() { return machine_->snapshot(); }
+
+void Rsm::install_checkpoint(const Bytes& state) {
+  machine_->restore(state);
+}
+
+RsmNode::RsmNode(Env& env, core::StackConfig config, MachineFactory factory,
+                 Rsm::ApplyObserver observer)
+    : rsm_(factory(), std::move(observer)),
+      stack_(env, std::move(config), rsm_) {}
+
+}  // namespace abcast::apps

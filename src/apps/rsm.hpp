@@ -1,0 +1,66 @@
+// Bridges a StateMachine to the Atomic Broadcast delivery interface, and
+// hosts the full per-process node (stack + state machine) as one NodeApp.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/delivery_sink.hpp"
+#include "core/node_stack.hpp"
+
+#include "apps/state_machine.hpp"
+
+namespace abcast::apps {
+
+/// DeliverySink that applies every delivered message to a state machine and
+/// implements the A-checkpoint upcalls with its snapshot/restore.
+class Rsm final : public core::DeliverySink {
+ public:
+  /// Optional observer: invoked after each apply (clients use it to learn
+  /// that their command committed). It outlives crashes only if bound to
+  /// state outside the node (see RsmNode).
+  using ApplyObserver = std::function<void(const core::AppMsg&)>;
+
+  Rsm(std::unique_ptr<StateMachine> machine, ApplyObserver observer = {});
+
+  void deliver(const core::AppMsg& msg) override;
+  Bytes take_checkpoint() override;
+  void install_checkpoint(const Bytes& state) override;
+
+  StateMachine& machine() { return *machine_; }
+  const StateMachine& machine() const { return *machine_; }
+  std::uint64_t applied() const { return applied_; }
+
+ private:
+  std::unique_ptr<StateMachine> machine_;
+  ApplyObserver observer_;
+  std::uint64_t applied_ = 0;
+};
+
+/// A complete replica: protocol stack + replicated state machine, destroyed
+/// and rebuilt as one unit across crashes.
+class RsmNode final : public NodeApp {
+ public:
+  using MachineFactory = std::function<std::unique_ptr<StateMachine>()>;
+
+  RsmNode(Env& env, core::StackConfig config, MachineFactory factory,
+          Rsm::ApplyObserver observer = {});
+
+  void start(bool recovering) override { stack_.start(recovering); }
+  void on_message(ProcessId from, const Wire& msg) override {
+    stack_.on_message(from, msg);
+  }
+
+  /// Submits a command for total-order replication; returns its id. The
+  /// command is applied (everywhere) when delivered.
+  MsgId submit(Bytes command) { return stack_.ab().broadcast(std::move(command)); }
+
+  core::NodeStack& stack() { return stack_; }
+  Rsm& rsm() { return rsm_; }
+
+ private:
+  Rsm rsm_;
+  core::NodeStack stack_;
+};
+
+}  // namespace abcast::apps

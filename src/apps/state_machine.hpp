@@ -1,0 +1,32 @@
+// Deterministic replicated state machine interface.
+//
+// Atomic Broadcast's raison d'être (paper §1): disseminate commands so all
+// replicas apply the same commands in the same order. Implementations must
+// be deterministic — apply() may depend only on the current state and the
+// command bytes.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace abcast::apps {
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  StateMachine() = default;
+  StateMachine(const StateMachine&) = delete;
+  StateMachine& operator=(const StateMachine&) = delete;
+
+  /// Applies one command. Must be deterministic and total (malformed
+  /// commands must be rejected deterministically, not crash).
+  virtual void apply(const Bytes& command) = 0;
+
+  /// Serializes the full state (the A-checkpoint upcall body).
+  virtual Bytes snapshot() const = 0;
+
+  /// Replaces the state; an empty snapshot means the initial state.
+  virtual void restore(const Bytes& snapshot) = 0;
+};
+
+}  // namespace abcast::apps

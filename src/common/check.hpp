@@ -1,0 +1,43 @@
+// Invariant checking that throws instead of aborting, so tests can assert on
+// violations and the simulator can surface them with context.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace abcast {
+
+/// Thrown when an internal invariant is violated. Indicates a bug in this
+/// library, never a recoverable runtime condition.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace abcast
+
+#define ABCAST_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::abcast::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                   \
+  } while (false)
+
+#define ABCAST_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::abcast::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                   \
+  } while (false)

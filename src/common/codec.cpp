@@ -1,0 +1,5 @@
+#include "common/codec.hpp"
+
+// All of codec is header-only today; this TU anchors the target and keeps a
+// place for future out-of-line helpers.
+namespace abcast {}

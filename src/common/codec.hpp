@@ -1,0 +1,205 @@
+// Bounds-checked binary serialization.
+//
+// Every wire message and every stable-storage record in this library is
+// encoded with BufWriter and decoded with BufReader. Integers are written
+// little-endian at fixed width; variable-length data is length-prefixed.
+// BufReader throws CodecError on any out-of-bounds or malformed read, so a
+// truncated or corrupted buffer can never cause undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace abcast {
+
+/// Thrown by BufReader on truncated or malformed input.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width little-endian primitives and length-prefixed blobs to
+/// an owned byte buffer.
+class BufWriter {
+ public:
+  BufWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void bytes(const Bytes& b) {
+    u32(checked_len(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void str(std::string_view s) {
+    u32(checked_len(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void msg_id(const MsgId& id) {
+    u32(id.sender);
+    u64(id.seq);
+  }
+
+  /// Writes a length prefix followed by per-element encodings.
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& encode_one) {
+    u32(checked_len(v.size()));
+    for (const auto& e : v) encode_one(*this, e);
+  }
+
+  template <typename K, typename V, typename Fn>
+  void map(const std::map<K, V>& m, Fn&& encode_one) {
+    u32(checked_len(m.size()));
+    for (const auto& [k, v] : m) encode_one(*this, k, v);
+  }
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  static std::uint32_t checked_len(std::size_t n) {
+    if (n > 0xFFFFFFFFull) throw CodecError("length exceeds u32");
+    return static_cast<std::uint32_t>(n);
+  }
+
+  Bytes buf_;
+};
+
+/// Reads the encodings produced by BufWriter; throws CodecError on any
+/// truncation or overrun. Non-owning: the source buffer must outlive it.
+class BufReader {
+ public:
+  explicit BufReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  BufReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint16_t u16() { return get<std::uint16_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(get<std::uint64_t>()); }
+
+  bool boolean() {
+    const auto v = u8();
+    if (v > 1) throw CodecError("malformed bool");
+    return v == 1;
+  }
+
+  Bytes bytes() {
+    const auto n = length();
+    Bytes out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    const auto n = length();
+    std::string out(reinterpret_cast<const char*>(data_) + pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  MsgId msg_id() {
+    MsgId id;
+    id.sender = u32();
+    id.seq = u64();
+    return id;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& decode_one) {
+    const auto n = u32();
+    // Element encodings are at least one byte; reject absurd counts before
+    // allocating, so corrupted input cannot trigger a huge allocation.
+    if (n > remaining()) throw CodecError("vector count exceeds buffer");
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) out.push_back(decode_one(*this));
+    return out;
+  }
+
+  template <typename K, typename V, typename Fn>
+  std::map<K, V> map(Fn&& decode_one) {
+    const auto n = u32();
+    if (n > remaining()) throw CodecError("map count exceeds buffer");
+    std::map<K, V> out;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto [k, v] = decode_one(*this);
+      out.emplace(std::move(k), std::move(v));
+    }
+    return out;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  /// Asserts the whole buffer has been consumed; call at the end of a
+  /// structured decode to catch trailing garbage.
+  void expect_done() const {
+    if (!done()) throw CodecError("trailing bytes after decode");
+  }
+
+ private:
+  template <typename T>
+  T get() {
+    if (remaining() < sizeof(T)) throw CodecError("read past end of buffer");
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::size_t length() {
+    const auto n = u32();
+    if (n > remaining()) throw CodecError("blob length exceeds buffer");
+    return n;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: encode a message struct that exposes encode(BufWriter&).
+template <typename T>
+Bytes encode_to_bytes(const T& msg) {
+  BufWriter w;
+  msg.encode(w);
+  return std::move(w).take();
+}
+
+/// Convenience: decode a message struct that exposes a static
+/// decode(BufReader&) factory, verifying full consumption.
+template <typename T>
+T decode_from_bytes(const Bytes& b) {
+  BufReader r(b);
+  T msg = T::decode(r);
+  r.expect_done();
+  return msg;
+}
+
+}  // namespace abcast

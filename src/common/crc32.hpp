@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3 polynomial) for stable-storage record integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace abcast {
+
+/// Computes the CRC-32 of a byte range (reflected, IEEE polynomial, the same
+/// CRC used by zlib/gzip). Used to detect torn or corrupted storage records.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+inline std::uint32_t crc32(const Bytes& b) { return crc32(b.data(), b.size()); }
+
+}  // namespace abcast

@@ -1,0 +1,44 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace abcast {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& msg) {
+    std::fprintf(stderr, "[%s] %s\n", to_string(level), msg.c_str());
+  };
+}
+
+void Logger::set_sink(LogSink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& msg) {
+      std::fprintf(stderr, "[%s] %s\n", to_string(level), msg.c_str());
+    };
+  }
+}
+
+void Logger::write(LogLevel level, const std::string& msg) {
+  if (enabled(level)) sink_(level, msg);
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace abcast

@@ -1,0 +1,52 @@
+// Minimal leveled logging with a pluggable sink.
+//
+// The simulator installs a sink that prefixes virtual time and process id;
+// tests install a capturing sink; benches leave logging off (the default
+// level is kWarn, and formatting work is skipped for disabled levels).
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace abcast {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Global logger configuration. Not thread-safe to reconfigure while logging
+/// concurrently; configure once at startup (rt runtime logs under its lock).
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+
+  /// Replaces the sink; passing nullptr restores the default stderr sink.
+  void set_sink(LogSink sink);
+
+  void write(LogLevel level, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  LogSink sink_;
+};
+
+const char* to_string(LogLevel level);
+
+}  // namespace abcast
+
+// Usage: ABCAST_LOG(kDebug, "round " << k << " decided");
+#define ABCAST_LOG(level_name, expr)                                       \
+  do {                                                                     \
+    auto& logger_ = ::abcast::Logger::instance();                          \
+    if (logger_.enabled(::abcast::LogLevel::level_name)) {                 \
+      std::ostringstream os_;                                              \
+      os_ << expr;                                                         \
+      logger_.write(::abcast::LogLevel::level_name, os_.str());            \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in the simulator flows through one Rng seeded
+// from the run configuration, so a (seed, config) pair fully determines a
+// run. Protocol code itself never needs randomness.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/check.hpp"
+
+namespace abcast {
+
+/// Thin wrapper over a 64-bit Mersenne Twister with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    ABCAST_CHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Exponentially distributed duration with the given mean (> 0). Used for
+  /// Poisson arrival processes and crash/recovery schedules.
+  std::int64_t exponential(std::int64_t mean) {
+    ABCAST_CHECK(mean > 0);
+    std::exponential_distribution<double> d(1.0 / static_cast<double>(mean));
+    const double v = d(engine_);
+    // Clamp to at least 1ns so timers always make progress.
+    return v < 1.0 ? 1 : static_cast<std::int64_t>(v);
+  }
+
+  /// Derives an independent child generator; used to give each host its own
+  /// stream so adding randomness in one place does not perturb others.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace abcast

@@ -1,0 +1,61 @@
+// Fundamental value types shared by every module.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace abcast {
+
+/// Identifies a process in the group. Processes are numbered 0..n-1.
+using ProcessId = std::uint32_t;
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Virtual or real time in nanoseconds since the start of the run.
+using TimePoint = std::int64_t;
+
+/// A span of time in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration nanos(std::int64_t v) { return v; }
+inline constexpr Duration micros(std::int64_t v) { return v * 1'000; }
+inline constexpr Duration millis(std::int64_t v) { return v * 1'000'000; }
+inline constexpr Duration seconds(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Raw byte buffer used for payloads and serialized records.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Unique identity of an application message: (sender, per-sender sequence).
+/// The paper assumes all messages are distinct and suggests exactly this pair.
+/// MsgId ordering is also the protocol's "predetermined deterministic rule"
+/// for ordering messages decided within the same Consensus round.
+struct MsgId {
+  ProcessId sender = kNoProcess;
+  std::uint64_t seq = 0;
+
+  friend auto operator<=>(const MsgId&, const MsgId&) = default;
+};
+
+struct MsgIdHash {
+  std::size_t operator()(const MsgId& id) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(id.sender);
+    mix(id.seq);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+inline std::string to_string(const MsgId& id) {
+  return "m(" + std::to_string(id.sender) + "," + std::to_string(id.seq) + ")";
+}
+
+}  // namespace abcast

@@ -1,0 +1,132 @@
+// Uniform Consensus in the crash-recovery model (paper §3.2–§3.5).
+//
+// The Atomic Broadcast layer uses Consensus strictly as a black box through
+// this interface, mirroring Figure 1 of the paper:
+//
+//   propose(k, value)  — propose `value` for the k-th Consensus instance.
+//                        Idempotent; the *first* operation is logging the
+//                        proposal to stable storage, so that after a crash
+//                        the process always proposes the same value to the
+//                        same instance (lemma P4, §4.3).
+//   decision(k)        — the locally-known decision for instance k, if any.
+//   decided callback   — fires once per instance when a decision first
+//                        becomes known in this incarnation (lemma P5: the
+//                        value is the same across re-executions).
+//
+// Properties (paper §3.4): Termination (every good process that proposes —
+// or that participated in a quorum — eventually decides), Uniform Validity,
+// and Uniform Agreement (no two processes, good or bad, decide differently).
+//
+// Two interchangeable engines are provided, demonstrating the paper's
+// consensus-agnosticism:
+//   * PaxosEngine — Synod with a leader hint; acceptor state logged.
+//   * CoordEngine — rotating-coordinator (Chandra-Toueg ◇S style adapted to
+//     crash-recovery à la Aguilera-Chen-Toueg); estimate adoptions logged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "env/env.hpp"
+#include "env/stable_storage.hpp"
+#include "fd/leader_oracle.hpp"
+
+namespace abcast {
+
+using InstanceId = std::uint64_t;
+
+struct ConsensusConfig {
+  /// Period of the engine driver tick (retries, retransmissions).
+  Duration tick_period = millis(25);
+  /// How long a proposer/round waits before retrying with a new
+  /// ballot/round.
+  Duration progress_timeout = millis(150);
+  /// Initial spacing between DECIDED retransmissions to unacked peers;
+  /// doubles per attempt up to `retransmit_max`.
+  Duration retransmit_initial = millis(50);
+  Duration retransmit_max = seconds(1);
+};
+
+/// Engine-agnostic counters for experiments.
+struct ConsensusMetrics {
+  std::uint64_t proposals = 0;          // distinct instances proposed to
+  std::uint64_t decided_local = 0;      // instances this process decided
+  std::uint64_t decided_learned = 0;    // decisions learned from peers
+  std::uint64_t attempts = 0;           // ballots (Paxos) or rounds (Coord)
+};
+
+using DecidedCallback =
+    std::function<void(InstanceId, const Bytes& value)>;
+
+class ConsensusService {
+ public:
+  virtual ~ConsensusService() = default;
+
+  ConsensusService() = default;
+  ConsensusService(const ConsensusService&) = delete;
+  ConsensusService& operator=(const ConsensusService&) = delete;
+
+  /// Loads persistent state and starts the driver. Call exactly once, after
+  /// set_decided_callback. With recovering=true, instances with a logged
+  /// proposal and no decision resume automatically.
+  virtual void start(bool recovering) = 0;
+
+  /// See file header. The value actually used is the first one ever logged
+  /// for `k` by this process; a different `value` on re-invocation is
+  /// ignored (idempotence across recoveries).
+  virtual void propose(InstanceId k, const Bytes& value) = 0;
+
+  /// Locally-known decision for `k` (memory or decision log), if any.
+  virtual std::optional<Bytes> decision(InstanceId k) = 0;
+
+  virtual void set_decided_callback(DecidedCallback cb) = 0;
+
+  /// True if this process has (durably) proposed to instance `k`.
+  virtual bool proposed(InstanceId k) const = 0;
+
+  /// Pushes locally-known decisions for instances in [from_k, from_k+max)
+  /// to `to`. Used by the upper layer when gossip reveals a lagging peer:
+  /// the original decider may be gone (its retransmission state is
+  /// volatile), so helpers re-offer decisions on its behalf.
+  virtual void offer_decisions(ProcessId to, InstanceId from_k,
+                               std::uint32_t max) = 0;
+
+  /// Durably discards all records (proposal, decision, engine state) of
+  /// instances below `k`, and stops participating in them: messages about
+  /// truncated instances are ignored (and reported through the obsolete
+  /// callback so the upper layer can ship a state transfer instead). The
+  /// caller promises it has applied every decision below `k` and has
+  /// checkpointed the result — the paper's §5.1/§5.2 log truncation.
+  virtual void truncate_below(InstanceId k) = 0;
+
+  /// Instances below this are truncated (0 = nothing truncated).
+  virtual InstanceId low_water() const = 0;
+
+  /// Invoked when a peer sends us traffic about a truncated instance —
+  /// the signal that `from` lags behind our checkpoint.
+  virtual void set_obsolete_callback(
+      std::function<void(ProcessId from, InstanceId k)> cb) = 0;
+
+  /// Message routing: true for MsgTypes owned by this engine.
+  virtual bool handles(MsgType type) const = 0;
+  virtual void on_message(ProcessId from, const Wire& msg) = 0;
+
+  /// Log-operation accounting for this layer (scope "cons/").
+  virtual const StorageStats& storage_stats() const = 0;
+
+  virtual const ConsensusMetrics& metrics() const = 0;
+};
+
+enum class ConsensusKind { kPaxos, kCoord };
+
+/// Builds an engine. `oracle` must outlive the engine.
+std::unique_ptr<ConsensusService> make_consensus(ConsensusKind kind, Env& env,
+                                                 const LeaderOracle& oracle,
+                                                 ConsensusConfig config = {});
+
+const char* to_string(ConsensusKind kind);
+
+}  // namespace abcast

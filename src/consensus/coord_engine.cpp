@@ -1,0 +1,313 @@
+#include "consensus/coord_engine.hpp"
+
+#include "common/check.hpp"
+#include "common/codec.hpp"
+#include "common/logging.hpp"
+#include "consensus/keys.hpp"
+
+namespace abcast {
+namespace {
+
+struct EstimateMsg {
+  InstanceId k = 0;
+  std::uint64_t round = 0;
+  std::uint64_t ts = 0;
+  Bytes est;
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(round);
+    w.u64(ts);
+    w.bytes(est);
+  }
+  static EstimateMsg decode(BufReader& r) {
+    EstimateMsg m;
+    m.k = r.u64();
+    m.round = r.u64();
+    m.ts = r.u64();
+    m.est = r.bytes();
+    return m;
+  }
+};
+
+struct NewEstimateMsg {
+  InstanceId k = 0;
+  std::uint64_t round = 0;
+  Bytes value;
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(round);
+    w.bytes(value);
+  }
+  static NewEstimateMsg decode(BufReader& r) {
+    NewEstimateMsg m;
+    m.k = r.u64();
+    m.round = r.u64();
+    m.value = r.bytes();
+    return m;
+  }
+};
+
+// Ack and Nack share a shape: instance + round. A nack's round is the
+// *sender's* current round, inviting the receiver to catch up.
+struct RoundMsg {
+  InstanceId k = 0;
+  std::uint64_t round = 0;
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(round);
+  }
+  static RoundMsg decode(BufReader& r) {
+    RoundMsg m;
+    m.k = r.u64();
+    m.round = r.u64();
+    return m;
+  }
+};
+
+}  // namespace
+
+CoordEngine::CoordEngine(Env& env, const LeaderOracle& oracle,
+                         ConsensusConfig config)
+    : EngineBase(env, oracle, config, MsgType::kCoordDecide,
+                 MsgType::kCoordDecideAck) {}
+
+void CoordEngine::persist(InstanceId k, const Instance& inst) {
+  BufWriter w;
+  w.u64(inst.round);
+  w.boolean(inst.has_est);
+  w.u64(inst.ts);
+  w.bytes(inst.est);
+  storage_.put(consensus_keys::inst_key("st", k), w.data());
+}
+
+void CoordEngine::engine_start(bool recovering) {
+  (void)recovering;
+  for (const auto& key : storage_.keys_with_prefix("st/")) {
+    const InstanceId k = consensus_keys::parse_inst(key);
+    if (k < low_water()) {
+      storage_.erase(key);  // finish an interrupted truncation
+      continue;
+    }
+    auto rec = storage_.get(key);
+    if (!rec) continue;
+    Instance& inst = instance(k);
+    BufReader r(*rec);
+    inst.round = r.u64();
+    inst.has_est = r.boolean();
+    inst.ts = r.u64();
+    inst.est = r.bytes();
+    r.expect_done();
+    if (inst.has_est && !has_decision(k)) {
+      inst.active = true;
+      inst.round_started = env_.now();
+      send_estimate(k, inst);
+    }
+  }
+}
+
+void CoordEngine::engine_propose(InstanceId k, const Bytes& value) {
+  Instance& inst = instance(k);
+  if (inst.active) return;
+  if (!inst.has_est) {
+    inst.has_est = true;
+    inst.est = value;
+    inst.ts = 0;
+    persist(k, inst);
+  }
+  inst.active = true;
+  inst.round_started = env_.now();
+  send_estimate(k, inst);
+}
+
+void CoordEngine::send_estimate(InstanceId k, Instance& inst) {
+  ABCAST_CHECK(inst.has_est);
+  inst.last_estimate_sent = env_.now();
+  // Multisend rather than coordinator-only: peers that have never heard of
+  // this instance adopt the estimate and start participating, which is what
+  // lets the coordinator assemble a majority of estimates even when only
+  // one process proposed (e.g. when the proposer IS the coordinator).
+  env_.multisend(make_wire(MsgType::kCoordEstimate,
+                           EstimateMsg{k, inst.round, inst.ts, inst.est}));
+}
+
+void CoordEngine::enter_round(InstanceId k, Instance& inst,
+                              std::uint64_t round) {
+  inst.round = round;
+  inst.round_started = env_.now();
+  inst.estimates.clear();
+  inst.sent_newest = false;
+  inst.newest.clear();
+  inst.acks.clear();
+  inst.nacks.clear();
+  persist(k, inst);  // round monotonicity must survive crashes (P1/P2)
+  if (inst.active) send_estimate(k, inst);
+}
+
+void CoordEngine::advance_round(InstanceId k, Instance& inst) {
+  const ProcessId old_coord = coord_of(inst.round);
+  metrics_.attempts += 1;
+  enter_round(k, inst, inst.round + 1);
+  // Tell the abandoned coordinator where we went, so it stops waiting.
+  env_.send(old_coord,
+            make_wire(MsgType::kCoordNack, RoundMsg{k, inst.round}));
+}
+
+void CoordEngine::catch_up(InstanceId k, Instance& inst, std::uint64_t round) {
+  if (round <= inst.round) return;
+  enter_round(k, inst, round);
+}
+
+void CoordEngine::coordinate(InstanceId k, Instance& inst) {
+  if (has_decision(k) || inst.sent_newest) return;
+  if (coord_of(inst.round) != env_.self()) return;
+  // Include our own estimate without a network round-trip.
+  if (inst.has_est) {
+    inst.estimates[env_.self()] = {inst.ts, inst.est};
+  }
+  if (inst.estimates.size() < majority()) return;
+  std::uint64_t best_ts = 0;
+  const Bytes* best = nullptr;
+  for (const auto& [p, e] : inst.estimates) {
+    if (best == nullptr || e.first >= best_ts) {
+      best_ts = e.first;
+      best = &e.second;
+    }
+  }
+  ABCAST_CHECK(best != nullptr);
+  inst.newest = *best;
+  inst.sent_newest = true;
+  env_.multisend(make_wire(MsgType::kCoordNewEstimate,
+                           NewEstimateMsg{k, inst.round, inst.newest}));
+}
+
+void CoordEngine::engine_tick() {
+  const TimePoint now = env_.now();
+  for (auto& [k, inst] : instances_) {
+    if (has_decision(k) || !inst.active) continue;
+    const ProcessId coord = coord_of(inst.round);
+    if (coord == env_.self()) {
+      coordinate(k, inst);
+      if (inst.sent_newest) {
+        // Re-push the round's value to whoever has not logged+acked yet.
+        const auto wire = make_wire(
+            MsgType::kCoordNewEstimate,
+            NewEstimateMsg{k, inst.round, inst.newest});
+        for (ProcessId p = 0; p < env_.group_size(); ++p) {
+          if (inst.acks.count(p) == 0) env_.send(p, wire);
+        }
+      } else if (inst.has_est &&
+                 now - inst.last_estimate_sent >= config_.tick_period) {
+        // Still collecting: keep soliciting participation — peers that were
+        // down during the first multisend must eventually hear about the
+        // instance or the estimate quorum never forms.
+        send_estimate(k, inst);
+      }
+    } else {
+      // Fair-lossy channel: keep re-sending our estimate for this round.
+      if (now - inst.last_estimate_sent >= config_.tick_period) {
+        send_estimate(k, inst);
+      }
+      // Move on only when the round stalled AND the detector suspects the
+      // coordinator — never while it is trusted (◇S-style accuracy use).
+      if (now - inst.round_started > config_.progress_timeout &&
+          !oracle_.trusted(coord)) {
+        advance_round(k, inst);
+      }
+    }
+  }
+}
+
+void CoordEngine::engine_decided(InstanceId k) {
+  Instance& inst = instance(k);
+  inst.active = false;
+  inst.estimates.clear();
+  inst.acks.clear();
+  inst.nacks.clear();
+}
+
+void CoordEngine::engine_truncate(InstanceId k) {
+  for (auto it = instances_.begin();
+       it != instances_.end() && it->first < k;) {
+    storage_.erase(consensus_keys::inst_key("st", it->first));
+    it = instances_.erase(it);
+  }
+}
+
+void CoordEngine::engine_message(ProcessId from, const Wire& msg) {
+  switch (msg.type) {
+    case MsgType::kCoordEstimate: {
+      const auto m = decode_from_bytes<EstimateMsg>(msg.payload);
+      Instance& inst = instance(m.k);
+      if (has_decision(m.k)) return;  // decided/ack path will cover `from`
+      if (m.round < inst.round) {
+        env_.send(from,
+                  make_wire(MsgType::kCoordNack, RoundMsg{m.k, inst.round}));
+        return;
+      }
+      catch_up(m.k, inst, m.round);
+      if (!inst.has_est) {
+        // First we hear of this instance: adopt the sender's (est, ts)
+        // pair. Copying an existing pair preserves the locking invariant
+        // and validity, and lets a coordinator that never proposed itself
+        // contribute to the estimate quorum — without this, an instance
+        // proposed by a single process could never gather a majority of
+        // estimates.
+        inst.has_est = true;
+        inst.est = m.est;
+        inst.ts = m.ts;
+        inst.active = true;
+        inst.round_started = env_.now();
+        persist(m.k, inst);
+      }
+      if (coord_of(inst.round) == env_.self() && m.round == inst.round) {
+        inst.estimates[from] = {m.ts, m.est};
+        coordinate(m.k, inst);
+      }
+      return;
+    }
+    case MsgType::kCoordNewEstimate: {
+      const auto m = decode_from_bytes<NewEstimateMsg>(msg.payload);
+      Instance& inst = instance(m.k);
+      if (m.round < inst.round) {
+        env_.send(from,
+                  make_wire(MsgType::kCoordNack, RoundMsg{m.k, inst.round}));
+        return;
+      }
+      catch_up(m.k, inst, m.round);
+      // Adopt, log, *then* acknowledge — the log-before-ack order is what
+      // lets a majority of acks imply a durable majority lock on the value.
+      const bool already = inst.has_est && inst.ts == m.round;
+      if (!already) {
+        inst.has_est = true;
+        inst.est = m.value;
+        inst.ts = m.round;
+        inst.active = true;
+        persist(m.k, inst);
+      }
+      env_.send(from, make_wire(MsgType::kCoordAck, RoundMsg{m.k, m.round}));
+      return;
+    }
+    case MsgType::kCoordAck: {
+      const auto m = decode_from_bytes<RoundMsg>(msg.payload);
+      Instance& inst = instance(m.k);
+      if (coord_of(m.round) != env_.self() || m.round != inst.round) return;
+      if (!inst.sent_newest) return;
+      inst.acks.insert(from);
+      if (inst.acks.size() >= majority()) {
+        learn_decision(m.k, inst.newest, /*i_decided=*/true);
+      }
+      return;
+    }
+    case MsgType::kCoordNack: {
+      const auto m = decode_from_bytes<RoundMsg>(msg.payload);
+      Instance& inst = instance(m.k);
+      // The sender is in a higher round; join it.
+      catch_up(m.k, inst, m.round);
+      return;
+    }
+    default:
+      ABCAST_CHECK_MSG(false, "unexpected coord message type");
+  }
+}
+
+}  // namespace abcast

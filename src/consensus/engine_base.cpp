@@ -1,0 +1,223 @@
+#include "consensus/engine_base.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/codec.hpp"
+#include "common/logging.hpp"
+#include "consensus/keys.hpp"
+
+namespace abcast {
+namespace {
+
+struct DecidedMsg {
+  InstanceId k = 0;
+  Bytes value;
+
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.bytes(value);
+  }
+  static DecidedMsg decode(BufReader& r) {
+    DecidedMsg m;
+    m.k = r.u64();
+    m.value = r.bytes();
+    return m;
+  }
+};
+
+struct DecidedAckMsg {
+  InstanceId k = 0;
+
+  void encode(BufWriter& w) const { w.u64(k); }
+  static DecidedAckMsg decode(BufReader& r) { return DecidedAckMsg{r.u64()}; }
+};
+
+}  // namespace
+
+EngineBase::EngineBase(Env& env, const LeaderOracle& oracle,
+                       ConsensusConfig config, MsgType decided_type,
+                       MsgType ack_type)
+    : env_(env), oracle_(oracle), config_(config),
+      storage_(env.storage(), "cons"), decided_type_(decided_type),
+      ack_type_(ack_type) {
+  ABCAST_CHECK(config_.tick_period > 0);
+}
+
+void EngineBase::start(bool recovering) {
+  ABCAST_CHECK_MSG(!started_, "consensus started twice");
+  started_ = true;
+
+  if (auto rec = storage_.get("trunc")) {
+    BufReader r(*rec);
+    low_water_ = r.u64();
+    r.expect_done();
+  }
+
+  // Rebuild the proposal and decision maps from the logs. Decisions loaded
+  // here do NOT fire the decided callback: the upper layer's recovery
+  // procedure queries decision() explicitly while replaying (paper Fig. 2).
+  // Records below the low-water mark may survive a crash that interrupted
+  // a truncation; ignore them (and finish the erase lazily).
+  for (const auto& key : storage_.keys_with_prefix("dec/")) {
+    const InstanceId k = consensus_keys::parse_inst(key);
+    if (k < low_water_) {
+      storage_.erase(key);
+      continue;
+    }
+    if (auto v = storage_.get(key)) decisions_.emplace(k, std::move(*v));
+  }
+  for (const auto& key : storage_.keys_with_prefix("prop/")) {
+    const InstanceId k = consensus_keys::parse_inst(key);
+    if (k < low_water_) {
+      storage_.erase(key);
+      continue;
+    }
+    if (auto v = storage_.get(key)) proposals_.emplace(k, std::move(*v));
+  }
+  metrics_.proposals = proposals_.size();
+
+  engine_start(recovering);
+
+  // Resume participation in every proposed-but-undecided instance; the
+  // proposal log is exactly what makes this safe (P4).
+  for (const auto& [k, v] : proposals_) {
+    if (!has_decision(k)) engine_propose(k, v);
+  }
+
+  tick();
+}
+
+void EngineBase::propose(InstanceId k, const Bytes& value) {
+  ABCAST_CHECK_MSG(started_, "propose before start");
+  auto it = proposals_.find(k);
+  if (it == proposals_.end()) {
+    // First proposal for k: log it before any other action, so the same
+    // value is re-proposed after any crash (paper §4.3).
+    storage_.put(consensus_keys::inst_key("prop", k), value);
+    it = proposals_.emplace(k, value).first;
+    metrics_.proposals += 1;
+  }
+  if (!has_decision(k)) {
+    engine_propose(k, it->second);
+  }
+}
+
+std::optional<Bytes> EngineBase::decision(InstanceId k) {
+  auto it = decisions_.find(k);
+  if (it == decisions_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Bytes* EngineBase::proposal_of(InstanceId k) const {
+  auto it = proposals_.find(k);
+  return it == proposals_.end() ? nullptr : &it->second;
+}
+
+void EngineBase::learn_decision(InstanceId k, const Bytes& value,
+                                bool i_decided) {
+  if (k < low_water_) return;  // already applied and truncated
+  if (has_decision(k)) return;
+  // Log before announcing: Uniform Agreement must hold even if we crash
+  // immediately after the callback runs.
+  storage_.put(consensus_keys::inst_key("dec", k), value);
+  decisions_.emplace(k, value);
+  if (i_decided) {
+    metrics_.decided_local += 1;
+    // We produced this decision; disseminate it until every peer acks.
+    Retransmit rt;
+    for (ProcessId p = 0; p < env_.group_size(); ++p) {
+      if (p != env_.self()) rt.unacked.insert(p);
+    }
+    rt.next_at = env_.now();
+    rt.interval = config_.retransmit_initial;
+    if (!rt.unacked.empty()) retransmit_.emplace(k, std::move(rt));
+  } else {
+    metrics_.decided_learned += 1;
+  }
+  engine_decided(k);
+  if (decided_cb_) decided_cb_(k, decisions_.at(k));
+}
+
+void EngineBase::on_message(ProcessId from, const Wire& msg) {
+  if (msg.type == ack_type_) {
+    const auto m = decode_from_bytes<DecidedAckMsg>(msg.payload);
+    auto it = retransmit_.find(m.k);
+    if (it != retransmit_.end()) {
+      it->second.unacked.erase(from);
+      if (it->second.unacked.empty()) retransmit_.erase(it);
+    }
+    return;
+  }
+  if (msg.type == decided_type_) {
+    const auto m = decode_from_bytes<DecidedMsg>(msg.payload);
+    // Ack even below the low-water mark (the value is long applied); this
+    // stops the sender's retransmission loop.
+    learn_decision(m.k, m.value, /*i_decided=*/false);
+    env_.send(from, make_wire(ack_type_, DecidedAckMsg{m.k}));
+    return;
+  }
+  // Contract: every engine payload begins with the u64 instance id, so we
+  // can filter truncated instances generically here.
+  BufReader peek(msg.payload);
+  const InstanceId k = peek.u64();
+  if (k < low_water_) {
+    // We no longer hold records for k; the sender is behind our checkpoint.
+    if (obsolete_cb_) obsolete_cb_(from, k);
+    return;
+  }
+  if (auto it = decisions_.find(k); it != decisions_.end()) {
+    // Any traffic about a decided instance means the sender has not learned
+    // the outcome; short-circuit the whole protocol with the decision.
+    env_.send(from, make_wire(decided_type_, DecidedMsg{k, it->second}));
+    return;
+  }
+  engine_message(from, msg);
+}
+
+void EngineBase::offer_decisions(ProcessId to, InstanceId from_k,
+                                 std::uint32_t max) {
+  auto it = decisions_.lower_bound(std::max<InstanceId>(from_k, low_water_));
+  for (std::uint32_t sent = 0; it != decisions_.end() && sent < max;
+       ++it, ++sent) {
+    env_.send(to, make_wire(decided_type_, DecidedMsg{it->first, it->second}));
+  }
+}
+
+void EngineBase::truncate_below(InstanceId k) {
+  if (k <= low_water_) return;
+  // Persist the mark first: after a crash we must keep ignoring these
+  // instances even if some record erases below did not complete.
+  BufWriter w;
+  w.u64(k);
+  storage_.put("trunc", w.data());
+  low_water_ = k;
+  auto erase_below = [this, k](std::map<InstanceId, Bytes>& m,
+                               const char* prefix) {
+    for (auto it = m.begin(); it != m.end() && it->first < k;) {
+      storage_.erase(consensus_keys::inst_key(prefix, it->first));
+      it = m.erase(it);
+    }
+  };
+  erase_below(proposals_, "prop");
+  erase_below(decisions_, "dec");
+  retransmit_.erase(retransmit_.begin(), retransmit_.lower_bound(k));
+  engine_truncate(k);
+}
+
+void EngineBase::tick() {
+  engine_tick();
+
+  const TimePoint now = env_.now();
+  for (auto& [k, rt] : retransmit_) {
+    if (now < rt.next_at) continue;
+    const auto wire = make_wire(decided_type_, DecidedMsg{k, decisions_.at(k)});
+    for (const ProcessId p : rt.unacked) env_.send(p, wire);
+    rt.interval = std::min(rt.interval * 2, config_.retransmit_max);
+    rt.next_at = now + rt.interval;
+  }
+
+  env_.schedule_after(config_.tick_period, [this] { tick(); });
+}
+
+}  // namespace abcast

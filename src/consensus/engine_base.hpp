@@ -1,0 +1,94 @@
+// Scaffolding shared by both consensus engines: proposal logging (the
+// paper's "log is done as the first operation of the Consensus"), the
+// decision log, decided-value retransmission with backoff, and the driver
+// tick.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "consensus/consensus.hpp"
+#include "storage/scoped_storage.hpp"
+
+namespace abcast {
+
+class EngineBase : public ConsensusService {
+ public:
+  void start(bool recovering) final;
+  void propose(InstanceId k, const Bytes& value) final;
+  std::optional<Bytes> decision(InstanceId k) final;
+  void set_decided_callback(DecidedCallback cb) final { decided_cb_ = std::move(cb); }
+  bool proposed(InstanceId k) const final { return proposals_.count(k) != 0; }
+  void offer_decisions(ProcessId to, InstanceId from_k,
+                       std::uint32_t max) final;
+  void truncate_below(InstanceId k) final;
+  InstanceId low_water() const final { return low_water_; }
+  void set_obsolete_callback(
+      std::function<void(ProcessId, InstanceId)> cb) final {
+    obsolete_cb_ = std::move(cb);
+  }
+  void on_message(ProcessId from, const Wire& msg) final;
+  const StorageStats& storage_stats() const final { return storage_.stats(); }
+  const ConsensusMetrics& metrics() const final { return metrics_; }
+
+ protected:
+  /// `decided_type`/`ack_type` are the engine-specific MsgTypes used for the
+  /// shared decision-dissemination sub-protocol.
+  EngineBase(Env& env, const LeaderOracle& oracle, ConsensusConfig config,
+             MsgType decided_type, MsgType ack_type);
+
+  // ---- hooks implemented by the concrete engine -------------------------
+  /// Called from start() after proposals/decisions are loaded.
+  virtual void engine_start(bool recovering) = 0;
+  /// Called once per instance when a (canonical) proposal becomes active.
+  virtual void engine_propose(InstanceId k, const Bytes& value) = 0;
+  /// Called every tick; drive retries here.
+  virtual void engine_tick() = 0;
+  /// Engine-specific messages (everything but decided/ack). Never called
+  /// for truncated instances.
+  virtual void engine_message(ProcessId from, const Wire& msg) = 0;
+  /// Volatile per-instance state may be dropped once decided.
+  virtual void engine_decided(InstanceId k) = 0;
+  /// Durably erase engine-private records of instances below `k` and drop
+  /// their volatile state.
+  virtual void engine_truncate(InstanceId k) = 0;
+
+  // ---- services for the concrete engine ---------------------------------
+  /// Records a decision (idempotent): logs it, fires the callback, starts
+  /// retransmitting to peers when `i_decided` (we produced the decision
+  /// rather than learning it).
+  void learn_decision(InstanceId k, const Bytes& value, bool i_decided);
+
+  bool has_decision(InstanceId k) const { return decisions_.count(k) != 0; }
+  const std::map<InstanceId, Bytes>& proposals() const { return proposals_; }
+  const Bytes* proposal_of(InstanceId k) const;
+
+  std::uint32_t majority() const { return env_.group_size() / 2 + 1; }
+
+  Env& env_;
+  const LeaderOracle& oracle_;
+  ConsensusConfig config_;
+  ScopedStorage storage_;
+  ConsensusMetrics metrics_;
+
+ private:
+  struct Retransmit {
+    std::set<ProcessId> unacked;
+    TimePoint next_at = 0;
+    Duration interval = 0;
+  };
+
+  void tick();
+
+  MsgType decided_type_;
+  MsgType ack_type_;
+  DecidedCallback decided_cb_;
+  std::function<void(ProcessId, InstanceId)> obsolete_cb_;
+  std::map<InstanceId, Bytes> proposals_;
+  std::map<InstanceId, Bytes> decisions_;
+  std::map<InstanceId, Retransmit> retransmit_;
+  InstanceId low_water_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace abcast

@@ -1,0 +1,28 @@
+// Stable-storage key layout helpers shared by the consensus engines.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace abcast::consensus_keys {
+
+/// Builds "<prefix>/<k>" with k zero-padded to 20 digits so lexicographic
+/// key order equals numeric instance order.
+inline std::string inst_key(const char* prefix, std::uint64_t k) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%020llu",
+                static_cast<unsigned long long>(k));
+  return std::string(prefix) + "/" + buf;
+}
+
+/// Parses the instance id back out of a key produced by inst_key.
+inline std::uint64_t parse_inst(const std::string& key) {
+  const auto slash = key.rfind('/');
+  ABCAST_CHECK_MSG(slash != std::string::npos, "malformed instance key");
+  return std::stoull(key.substr(slash + 1));
+}
+
+}  // namespace abcast::consensus_keys

@@ -1,0 +1,322 @@
+#include "consensus/paxos_engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/codec.hpp"
+#include "common/logging.hpp"
+#include "consensus/keys.hpp"
+
+namespace abcast {
+namespace {
+
+struct PrepareMsg {
+  InstanceId k = 0;
+  std::uint64_t ballot = 0;
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(ballot);
+  }
+  static PrepareMsg decode(BufReader& r) {
+    PrepareMsg m;
+    m.k = r.u64();
+    m.ballot = r.u64();
+    return m;
+  }
+};
+
+struct PromiseMsg {
+  InstanceId k = 0;
+  std::uint64_t ballot = 0;
+  std::uint64_t accepted_ballot = 0;
+  Bytes accepted_value;
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(ballot);
+    w.u64(accepted_ballot);
+    w.bytes(accepted_value);
+  }
+  static PromiseMsg decode(BufReader& r) {
+    PromiseMsg m;
+    m.k = r.u64();
+    m.ballot = r.u64();
+    m.accepted_ballot = r.u64();
+    m.accepted_value = r.bytes();
+    return m;
+  }
+};
+
+struct AcceptMsg {
+  InstanceId k = 0;
+  std::uint64_t ballot = 0;
+  Bytes value;
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(ballot);
+    w.bytes(value);
+  }
+  static AcceptMsg decode(BufReader& r) {
+    AcceptMsg m;
+    m.k = r.u64();
+    m.ballot = r.u64();
+    m.value = r.bytes();
+    return m;
+  }
+};
+
+struct AcceptedMsg {
+  InstanceId k = 0;
+  std::uint64_t ballot = 0;
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(ballot);
+  }
+  static AcceptedMsg decode(BufReader& r) {
+    AcceptedMsg m;
+    m.k = r.u64();
+    m.ballot = r.u64();
+    return m;
+  }
+};
+
+struct NackMsg {
+  InstanceId k = 0;
+  std::uint64_t promised = 0;
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(promised);
+  }
+  static NackMsg decode(BufReader& r) {
+    NackMsg m;
+    m.k = r.u64();
+    m.promised = r.u64();
+    return m;
+  }
+};
+
+}  // namespace
+
+PaxosEngine::PaxosEngine(Env& env, const LeaderOracle& oracle,
+                         ConsensusConfig config)
+    : EngineBase(env, oracle, config, MsgType::kPaxosDecided,
+                 MsgType::kPaxosDecidedAck) {}
+
+// Ballot b > 0 encodes attempt a and owner p as b = a * n + p + 1.
+PaxosEngine::Ballot PaxosEngine::next_ballot(Ballot above) const {
+  const std::uint64_t n = env_.group_size();
+  const std::uint64_t self = env_.self();
+  std::uint64_t attempt = 0;
+  Ballot b = attempt * n + self + 1;
+  while (b <= above) {
+    attempt += 1;
+    b = attempt * n + self + 1;
+  }
+  return b;
+}
+
+ProcessId PaxosEngine::ballot_owner(Ballot b) const {
+  ABCAST_CHECK(b > 0);
+  return static_cast<ProcessId>((b - 1) % env_.group_size());
+}
+
+PaxosEngine::Instance& PaxosEngine::instance(InstanceId k) {
+  return instances_[k];
+}
+
+void PaxosEngine::persist_acceptor(InstanceId k, const Instance& inst) {
+  BufWriter w;
+  w.u64(inst.promised);
+  w.u64(inst.accepted_ballot);
+  w.bytes(inst.accepted_value);
+  storage_.put(consensus_keys::inst_key("acc", k), w.data());
+}
+
+void PaxosEngine::load_acceptor(InstanceId k, Instance& inst,
+                                const Bytes& record) {
+  (void)k;
+  BufReader r(record);
+  inst.promised = r.u64();
+  inst.accepted_ballot = r.u64();
+  inst.accepted_value = r.bytes();
+  r.expect_done();
+}
+
+void PaxosEngine::engine_start(bool recovering) {
+  (void)recovering;
+  for (const auto& key : storage_.keys_with_prefix("acc/")) {
+    const InstanceId k = consensus_keys::parse_inst(key);
+    if (k < low_water()) {
+      storage_.erase(key);  // finish an interrupted truncation
+      continue;
+    }
+    if (auto rec = storage_.get(key)) {
+      load_acceptor(k, instance(k), *rec);
+    }
+  }
+}
+
+void PaxosEngine::engine_propose(InstanceId k, const Bytes& value) {
+  Instance& inst = instance(k);
+  if (inst.proposing) return;
+  inst.proposing = true;
+  inst.proposal = value;
+  inst.idle_since = env_.now();
+  drive(k, inst);
+}
+
+void PaxosEngine::start_ballot(InstanceId k, Instance& inst) {
+  inst.ballot = next_ballot(std::max({inst.ballot, inst.ballot_floor,
+                                      inst.promised}));
+  inst.phase = Phase::kPrepare;
+  inst.promises.clear();
+  inst.accepts.clear();
+  inst.phase_started = env_.now();
+  metrics_.attempts += 1;
+  env_.multisend(make_wire(MsgType::kPaxosPrepare, PrepareMsg{k, inst.ballot}));
+}
+
+// Starts or retries a ballot when this process should be driving instance k.
+void PaxosEngine::drive(InstanceId k, Instance& inst) {
+  if (has_decision(k)) return;
+  // Take over a stalled instance if we hold an accepted value: a decided
+  // value must survive its decider's death (see file header).
+  const bool should_drive = inst.proposing || inst.accepted_ballot > 0;
+  if (!should_drive) return;
+
+  // Normally only the oracle's nominee drives (avoids duelling proposers),
+  // but a non-nominee that has waited long enough drives anyway: the
+  // nominee may simply hold no proposal for this instance. The patience is
+  // staggered by process id so impatient processes wake one at a time.
+  const TimePoint now = env_.now();
+  const Duration patience =
+      config_.progress_timeout * static_cast<Duration>(3 + 2 * env_.self());
+  const bool nominated = oracle_.leader() == env_.self();
+  const bool impatient =
+      inst.phase == Phase::kIdle && now - inst.idle_since > patience;
+  if (!nominated && !impatient) return;
+
+  if (!inst.proposing) {
+    // Taking over: adopt the accepted value as our proposal. It was
+    // proposed by some process, so Uniform Validity is preserved. Logged
+    // first, like any proposal (P4).
+    EngineBase::propose(k, inst.accepted_value);
+    return;  // propose() re-enters engine_propose -> drive
+  }
+
+  if (inst.phase == Phase::kIdle) {
+    start_ballot(k, inst);
+  } else if (now - inst.phase_started > config_.progress_timeout) {
+    start_ballot(k, inst);
+  }
+}
+
+void PaxosEngine::engine_tick() {
+  for (auto& [k, inst] : instances_) {
+    if (!has_decision(k)) drive(k, inst);
+  }
+}
+
+void PaxosEngine::engine_decided(InstanceId k) {
+  // Drop proposer volatile state; keep acceptor fields (harmless, and
+  // late PREPARE/ACCEPT messages still get correct answers).
+  Instance& inst = instance(k);
+  inst.phase = Phase::kIdle;
+  inst.promises.clear();
+  inst.accepts.clear();
+}
+
+void PaxosEngine::engine_truncate(InstanceId k) {
+  for (auto it = instances_.begin();
+       it != instances_.end() && it->first < k;) {
+    storage_.erase(consensus_keys::inst_key("acc", it->first));
+    it = instances_.erase(it);
+  }
+}
+
+void PaxosEngine::engine_message(ProcessId from, const Wire& msg) {
+  switch (msg.type) {
+    case MsgType::kPaxosPrepare: {
+      const auto m = decode_from_bytes<PrepareMsg>(msg.payload);
+      Instance& inst = instance(m.k);
+      if (m.ballot >= inst.promised) {
+        if (m.ballot > inst.promised) {
+          inst.promised = m.ballot;
+          persist_acceptor(m.k, inst);
+        }
+        env_.send(from, make_wire(MsgType::kPaxosPromise,
+                                  PromiseMsg{m.k, m.ballot,
+                                             inst.accepted_ballot,
+                                             inst.accepted_value}));
+      } else {
+        env_.send(from, make_wire(MsgType::kPaxosNack,
+                                  NackMsg{m.k, inst.promised}));
+      }
+      return;
+    }
+    case MsgType::kPaxosPromise: {
+      const auto m = decode_from_bytes<PromiseMsg>(msg.payload);
+      Instance& inst = instance(m.k);
+      if (inst.phase != Phase::kPrepare || m.ballot != inst.ballot) return;
+      inst.promises[from] = PromiseInfo{m.accepted_ballot, m.accepted_value};
+      if (inst.promises.size() < majority()) return;
+      // Choose the accepted value of the highest accepted ballot, else our
+      // own proposal — the Synod value-selection rule.
+      Ballot best = 0;
+      const Bytes* value = &inst.proposal;
+      for (const auto& [p, info] : inst.promises) {
+        if (info.accepted_ballot > best) {
+          best = info.accepted_ballot;
+          value = &info.accepted_value;
+        }
+      }
+      inst.pushing = *value;
+      inst.phase = Phase::kAccept;
+      inst.accepts.clear();
+      inst.phase_started = env_.now();
+      env_.multisend(make_wire(MsgType::kPaxosAccept,
+                               AcceptMsg{m.k, inst.ballot, inst.pushing}));
+      return;
+    }
+    case MsgType::kPaxosAccept: {
+      const auto m = decode_from_bytes<AcceptMsg>(msg.payload);
+      Instance& inst = instance(m.k);
+      if (m.ballot >= inst.promised) {
+        inst.promised = m.ballot;
+        inst.accepted_ballot = m.ballot;
+        inst.accepted_value = m.value;
+        persist_acceptor(m.k, inst);  // before replying: uniformity
+        env_.send(from, make_wire(MsgType::kPaxosAccepted,
+                                  AcceptedMsg{m.k, m.ballot}));
+      } else {
+        env_.send(from, make_wire(MsgType::kPaxosNack,
+                                  NackMsg{m.k, inst.promised}));
+      }
+      return;
+    }
+    case MsgType::kPaxosAccepted: {
+      const auto m = decode_from_bytes<AcceptedMsg>(msg.payload);
+      Instance& inst = instance(m.k);
+      if (inst.phase != Phase::kAccept || m.ballot != inst.ballot) return;
+      inst.accepts.insert(from);
+      if (inst.accepts.size() >= majority()) {
+        learn_decision(m.k, inst.pushing, /*i_decided=*/true);
+      }
+      return;
+    }
+    case MsgType::kPaxosNack: {
+      const auto m = decode_from_bytes<NackMsg>(msg.payload);
+      Instance& inst = instance(m.k);
+      if (m.promised > inst.ballot_floor) inst.ballot_floor = m.promised;
+      if (inst.phase != Phase::kIdle && m.promised > inst.ballot) {
+        // Preempted; back off and let the tick retry if still nominated.
+        inst.phase = Phase::kIdle;
+        inst.idle_since = env_.now();
+      }
+      return;
+    }
+    default:
+      ABCAST_CHECK_MSG(false, "unexpected paxos message type");
+  }
+}
+
+}  // namespace abcast

@@ -1,0 +1,81 @@
+// Synod (single-decree Paxos) consensus engine for the crash-recovery model.
+//
+// Roles are collapsed: every process is acceptor and learner; the process
+// nominated by the LeaderOracle drives proposals. Acceptor state
+// (promised ballot, accepted ballot, accepted value) is logged in one record
+// per instance before any reply leaves the process, which is exactly what
+// makes agreement *uniform* under crash-recovery.
+//
+// Liveness safeguards beyond textbook Synod:
+//  * retry with a higher ballot on timeout, but only while the oracle
+//    nominates us (avoids duelling proposers);
+//  * an acceptor holding an accepted-but-undecided value takes over as
+//    proposer (with that value) if nominated — so a decision reached by a
+//    proposer that then dies forever still propagates to all good processes
+//    (needed for the paper's uniform Termination, lemma P7).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "consensus/engine_base.hpp"
+
+namespace abcast {
+
+class PaxosEngine final : public EngineBase {
+ public:
+  PaxosEngine(Env& env, const LeaderOracle& oracle, ConsensusConfig config);
+
+  bool handles(MsgType type) const override {
+    return type >= MsgType::kPaxosPrepare && type <= MsgType::kPaxosDecidedAck;
+  }
+
+ protected:
+  void engine_start(bool recovering) override;
+  void engine_propose(InstanceId k, const Bytes& value) override;
+  void engine_tick() override;
+  void engine_message(ProcessId from, const Wire& msg) override;
+  void engine_decided(InstanceId k) override;
+  void engine_truncate(InstanceId k) override;
+
+ private:
+  using Ballot = std::uint64_t;  // 0 = none; encodes (attempt, process)
+
+  enum class Phase { kIdle, kPrepare, kAccept };
+
+  struct PromiseInfo {
+    Ballot accepted_ballot = 0;
+    Bytes accepted_value;
+  };
+
+  struct Instance {
+    // Proposer side (volatile).
+    bool proposing = false;  // we hold a proposal (ours or taken over)
+    Bytes proposal;
+    Phase phase = Phase::kIdle;
+    Ballot ballot = 0;          // ballot we are driving
+    Ballot ballot_floor = 0;    // next ballot must exceed this (from nacks)
+    std::map<ProcessId, PromiseInfo> promises;
+    std::set<ProcessId> accepts;
+    Bytes pushing;              // value being pushed in phase 2
+    TimePoint phase_started = 0;
+    TimePoint idle_since = 0;   // when we last went idle without a decision
+
+    // Acceptor side (mirrored in stable storage).
+    Ballot promised = 0;
+    Ballot accepted_ballot = 0;
+    Bytes accepted_value;
+  };
+
+  Ballot next_ballot(Ballot above) const;
+  ProcessId ballot_owner(Ballot b) const;
+  Instance& instance(InstanceId k);
+  void persist_acceptor(InstanceId k, const Instance& inst);
+  void load_acceptor(InstanceId k, Instance& inst, const Bytes& record);
+  void start_ballot(InstanceId k, Instance& inst);
+  void drive(InstanceId k, Instance& inst);
+
+  std::map<InstanceId, Instance> instances_;
+};
+
+}  // namespace abcast

@@ -1,0 +1,58 @@
+#include "core/ab_consensus.hpp"
+
+#include "common/codec.hpp"
+
+namespace abcast::core {
+namespace {
+
+// Consensus proposals ride inside ordinary A-broadcast payloads under a
+// magic prefix, so they coexist with other application traffic.
+constexpr std::uint32_t kTag = 0x41424353;  // "ABCS"
+
+Bytes encode_proposal(std::uint64_t k, const Bytes& value) {
+  BufWriter w;
+  w.u32(kTag);
+  w.u64(k);
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+std::optional<std::pair<std::uint64_t, Bytes>> decode_proposal(
+    const Bytes& payload) {
+  try {
+    BufReader r(payload);
+    if (r.u32() != kTag) return std::nullopt;
+    const std::uint64_t k = r.u64();
+    Bytes value = r.bytes();
+    r.expect_done();
+    return std::pair{k, std::move(value)};
+  } catch (const CodecError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void AbConsensus::propose(std::uint64_t k, const Bytes& value) {
+  if (decisions_.count(k) != 0) return;
+  if (!proposed_.emplace(k, true).second) return;
+  ab_.broadcast(encode_proposal(k, value));
+}
+
+std::optional<Bytes> AbConsensus::decision(std::uint64_t k) const {
+  auto it = decisions_.find(k);
+  if (it == decisions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void AbConsensus::feed_delivery(const AppMsg& msg) {
+  auto proposal = decode_proposal(msg.payload);
+  if (!proposal) return;
+  auto& [k, value] = *proposal;
+  // "The first value to be delivered can be chosen as the decided value":
+  // total order makes this first value identical at every process.
+  auto [it, inserted] = decisions_.emplace(k, std::move(value));
+  if (inserted && decided_cb_) decided_cb_(k, it->second);
+}
+
+}  // namespace abcast::core

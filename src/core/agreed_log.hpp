@@ -1,0 +1,90 @@
+// The Agreed queue (paper Fig. 2), optionally rooted in an application
+// checkpoint (paper §5.2).
+//
+// Logically every process's delivery sequence is a prefix of one global
+// sequence; AgreedLog represents the local prefix as
+//
+//     [application checkpoint (state, VC, count)] ++ [explicit suffix]
+//
+// where the checkpoint part is absent until compact() is first called.
+// Duplicate suppression is by vector clock: a message decided again in a
+// later round (possible when a batch is re-proposed by a process that
+// missed the earlier decision) is skipped, deterministically at every
+// process, because the same batches arrive in the same round order
+// everywhere and the in-batch order is fixed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "core/app_msg.hpp"
+#include "core/vector_clock.hpp"
+
+namespace abcast::core {
+
+/// An application-level checkpoint: opaque state, the vector clock of the
+/// prefix it contains, and that prefix's length (for position accounting).
+struct AppCheckpoint {
+  Bytes state;
+  VectorClock vc;
+  std::uint64_t count = 0;
+
+  void encode(BufWriter& w) const {
+    w.bytes(state);
+    vc.encode(w);
+    w.u64(count);
+  }
+  static AppCheckpoint decode(BufReader& r) {
+    AppCheckpoint c;
+    c.state = r.bytes();
+    c.vc = VectorClock::decode(r);
+    c.count = r.u64();
+    return c;
+  }
+};
+
+class AgreedLog {
+ public:
+  AgreedLog() = default;
+  explicit AgreedLog(std::uint32_t n) : vc_(n) {}
+
+  /// Appends one decided batch. The batch is sorted by the deterministic
+  /// rule and filtered against the vector clock; the messages actually
+  /// appended (i.e., newly delivered) are returned in delivery order.
+  std::vector<AppMsg> append(std::vector<AppMsg> batch);
+
+  /// Appends a segment of the global delivery sequence AS GIVEN (no
+  /// re-sorting — the segment spans multiple rounds, so it is not MsgId-
+  /// sorted), still filtering already-contained messages. Used by trimmed
+  /// state transfers (§5.3 optimization). Returns the newly appended
+  /// messages in order.
+  std::vector<AppMsg> append_sequence(const std::vector<AppMsg>& segment);
+
+  /// True if `id` is in this prefix (explicitly or inside the checkpoint).
+  bool contains(const MsgId& id) const { return vc_.covers(id); }
+
+  /// Replaces the suffix with an application checkpoint containing it
+  /// (paper Fig. 4, line b). `state` comes from the A-checkpoint upcall.
+  void compact(Bytes state);
+
+  /// Total messages in the prefix (checkpoint count + suffix length).
+  std::uint64_t total() const { return base_count_ + suffix_.size(); }
+
+  const VectorClock& vc() const { return vc_; }
+  const std::optional<AppCheckpoint>& base() const { return base_; }
+  const std::vector<AppMsg>& suffix() const { return suffix_; }
+  std::uint64_t skipped_duplicates() const { return skipped_; }
+
+  void encode(BufWriter& w) const;
+  static AgreedLog decode(BufReader& r);
+
+ private:
+  std::optional<AppCheckpoint> base_;
+  std::uint64_t base_count_ = 0;
+  std::vector<AppMsg> suffix_;
+  VectorClock vc_;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace abcast::core

@@ -1,0 +1,419 @@
+#include "core/atomic_broadcast.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace abcast::core {
+namespace {
+
+struct GossipMsg {
+  std::uint64_t k = 0;
+  /// Local delivered count — advertised so peers can trim state transfers
+  /// to the missing tail (§5.3 optimization).
+  std::uint64_t total = 0;
+  std::vector<AppMsg> unordered;
+
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(total);
+    w.vec(unordered, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
+  }
+  static GossipMsg decode(BufReader& r) {
+    GossipMsg m;
+    m.k = r.u64();
+    m.total = r.u64();
+    m.unordered =
+        r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
+    return m;
+  }
+};
+
+struct StateMsg {
+  std::uint64_t k = 0;  // sender's round minus one (paper Fig. 3, line d)
+  bool trimmed = false;
+  // Full transfer: the complete Agreed representation.
+  AgreedLog agreed;
+  // Trimmed transfer: only the sequence tail after the recipient's
+  // advertised position (`base_total` messages omitted).
+  std::uint64_t base_total = 0;
+  std::vector<AppMsg> tail;
+
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.boolean(trimmed);
+    if (trimmed) {
+      w.u64(base_total);
+      w.vec(tail, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
+    } else {
+      agreed.encode(w);
+    }
+  }
+  static StateMsg decode(BufReader& r) {
+    StateMsg m;
+    m.k = r.u64();
+    m.trimmed = r.boolean();
+    if (m.trimmed) {
+      m.base_total = r.u64();
+      m.tail = r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
+    } else {
+      m.agreed = AgreedLog::decode(r);
+    }
+    return m;
+  }
+};
+
+constexpr const char* kCkptKey = "ckpt";
+constexpr const char* kUnorderedKey = "unord";
+
+std::string unordered_item_key(const MsgId& id) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "u/%010u-%020llu", id.sender,
+                static_cast<unsigned long long>(id.seq));
+  return buf;
+}
+
+}  // namespace
+
+AtomicBroadcast::AtomicBroadcast(Env& env, ConsensusService& consensus,
+                                 DeliverySink& sink, Options options)
+    : env_(env), cons_(consensus), sink_(sink), options_(options),
+      storage_(env.storage(), "ab"), agreed_(env.group_size()) {
+  options_.validate();
+}
+
+void AtomicBroadcast::start(bool recovering, std::uint64_t incarnation) {
+  ABCAST_CHECK_MSG(!started_, "atomic broadcast started twice");
+  started_ = true;
+  incarnation_ = incarnation;
+  counter_ = 0;
+
+  if (recovering) {
+    // §5.1: resume from the logged (k, Agreed) checkpoint when present;
+    // otherwise replay() reconstructs everything from Consensus decisions.
+    if (options_.checkpointing) {
+      if (auto rec = storage_.get(kCkptKey)) {
+        BufReader r(*rec);
+        k_ = r.u64();
+        agreed_ = AgreedLog::decode(r);
+        r.expect_done();
+        // Rebuild the application: install the checkpoint base (or the
+        // initial state) and re-deliver the explicit suffix.
+        if (agreed_.base()) {
+          sink_.install_checkpoint(agreed_.base()->state);
+        }
+        for (const auto& m : agreed_.suffix()) sink_.deliver(m);
+      }
+    }
+    // §5.4: restore the durable Unordered set.
+    if (options_.log_unordered) {
+      if (options_.incremental_unordered_log) {
+        for (const auto& key : storage_.keys_with_prefix("u/")) {
+          if (auto rec = storage_.get(key)) {
+            BufReader r(*rec);
+            AppMsg m = AppMsg::decode(r);
+            r.expect_done();
+            unordered_.emplace(m.id, std::move(m));
+          }
+        }
+      } else if (auto rec = storage_.get(kUnorderedKey)) {
+        for (auto& m : decode_batch(*rec)) {
+          unordered_.emplace(m.id, std::move(m));
+        }
+      }
+    }
+    // The paper's replay(): re-apply every locally decided instance from
+    // k_ on. Consensus has already reloaded its decision log, so each
+    // iteration is a local lookup.
+    const std::uint64_t k_before = k_;
+    drain();
+    metrics_.replayed_rounds = k_ - k_before;
+    prune_unordered();
+  }
+
+  gossip_tick();
+  if (options_.checkpointing) {
+    env_.schedule_after(options_.checkpoint_period,
+                        [this] { checkpoint_tick(); });
+  }
+  maybe_propose();
+}
+
+MsgId AtomicBroadcast::broadcast(Bytes payload) {
+  ABCAST_CHECK_MSG(started_, "broadcast before start");
+  counter_ += 1;
+  AppMsg m;
+  m.id = MsgId{env_.self(), make_seq(incarnation_, counter_)};
+  m.payload = std::move(payload);
+  const MsgId id = m.id;
+  unordered_.emplace(id, std::move(m));
+  metrics_.broadcasts += 1;
+
+  if (options_.log_unordered) {
+    // §5.4: make A-broadcast durable before returning, so the caller may
+    // proceed without waiting for the ordering round.
+    if (options_.incremental_unordered_log) {
+      // §5.5: log only the new element, not the whole set.
+      storage_.put(unordered_item_key(id),
+                   encode_to_bytes(unordered_.at(id)));
+    } else {
+      log_unordered_set();
+    }
+  }
+
+  if (options_.eager_dissemination) {
+    // Send the WHOLE unordered set, exactly like a gossip tick — never a
+    // single message. Correctness depends on gossip sets being monotone:
+    // any process holding an unagreed message also holds that sender's
+    // earlier unagreed ones, which is what makes the vector-clock
+    // duplicate-suppression rule in AgreedLog safe. A single-message
+    // datagram racing ahead of its predecessor on the non-FIFO channel
+    // would let a proposal contain (p,s+1) without (p,s) and drop (p,s)
+    // everywhere.
+    send_gossip_now();
+  }
+
+  maybe_propose();
+  return id;
+}
+
+void AtomicBroadcast::log_unordered_set() {
+  std::vector<AppMsg> all;
+  all.reserve(unordered_.size());
+  for (const auto& [id, m] : unordered_) all.push_back(m);
+  storage_.put(kUnorderedKey, encode_batch(all));
+}
+
+void AtomicBroadcast::erase_unordered_record(const MsgId& id) {
+  if (!options_.log_unordered) return;
+  if (options_.incremental_unordered_log) {
+    storage_.erase(unordered_item_key(id));
+  }
+  // Non-incremental mode rewrites the whole set on the next broadcast; no
+  // need to persist the shrink eagerly (resurrected messages are filtered
+  // against Agreed on recovery).
+}
+
+void AtomicBroadcast::prune_unordered() {
+  for (auto it = unordered_.begin(); it != unordered_.end();) {
+    if (agreed_.contains(it->first)) {
+      erase_unordered_record(it->first);
+      it = unordered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AtomicBroadcast::maybe_propose() {
+  // Paper Fig. 2, sequencer task: start round k only with something to
+  // propose or when gossip revealed we lag (then even an empty proposal is
+  // fine — the decision is already locked without our input).
+  if (cons_.proposed(k_)) return;
+  if (unordered_.empty() && gossip_k_ <= k_) return;
+  std::vector<AppMsg> batch;
+  batch.reserve(unordered_.size());
+  for (const auto& [id, m] : unordered_) batch.push_back(m);
+  metrics_.proposals += 1;
+  if (batch.empty()) metrics_.empty_proposals += 1;
+  cons_.propose(k_, encode_batch(batch));
+}
+
+void AtomicBroadcast::on_decided(InstanceId k, const Bytes& value) {
+  (void)value;
+  if (k < k_) return;  // stale: already applied (e.g. via state transfer)
+  drain();
+}
+
+void AtomicBroadcast::drain() {
+  while (auto decided = cons_.decision(k_)) {
+    apply_batch(*decided);
+  }
+  maybe_propose();
+}
+
+void AtomicBroadcast::apply_batch(const Bytes& value) {
+  auto batch = decode_batch(value);
+  auto delivered = agreed_.append(std::move(batch));
+  for (auto& m : delivered) {
+    erase_unordered_record(m.id);
+    unordered_.erase(m.id);
+    metrics_.delivered += 1;
+    sink_.deliver(m);
+  }
+  // Messages that were in the decided batch but skipped as stale are also
+  // covered by Agreed now; drop any lingering unordered copies.
+  for (auto it = unordered_.begin(); it != unordered_.end();) {
+    if (agreed_.contains(it->first)) {
+      erase_unordered_record(it->first);
+      it = unordered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  k_ += 1;
+  metrics_.rounds_completed += 1;
+}
+
+void AtomicBroadcast::send_gossip_now() {
+  GossipMsg g;
+  g.k = k_;
+  g.total = agreed_.total();
+  g.unordered.reserve(unordered_.size());
+  for (const auto& [id, m] : unordered_) g.unordered.push_back(m);
+  env_.multisend(make_wire(MsgType::kAbGossip, g));
+  metrics_.gossip_sent += 1;
+}
+
+void AtomicBroadcast::gossip_tick() {
+  send_gossip_now();
+  env_.schedule_after(options_.gossip_period, [this] { gossip_tick(); });
+}
+
+void AtomicBroadcast::on_message(ProcessId from, const Wire& msg) {
+  if (msg.type == MsgType::kAbGossip) {
+    const auto g = decode_from_bytes<GossipMsg>(msg.payload);
+    metrics_.gossip_received += 1;
+    for (const auto& m : g.unordered) {
+      if (!agreed_.contains(m.id)) unordered_.emplace(m.id, m);
+    }
+    if (g.k > k_) {
+      gossip_k_ = std::max(gossip_k_, g.k);  // the sender is ahead
+    } else if (options_.state_transfer && k_ > g.k + options_.delta) {
+      send_state(from, g.total);  // Fig. 3 line d: the sender lags far behind
+    } else if (g.k < k_) {
+      // The sender lags within Δ (or state transfer is off): push it the
+      // decisions it is missing — its original deciders may be gone.
+      cons_.offer_decisions(from, g.k, 16);
+    }
+    drain();
+    return;
+  }
+  if (msg.type == MsgType::kAbState) {
+    auto s = decode_from_bytes<StateMsg>(msg.payload);
+    if (options_.state_transfer && k_ + options_.delta < s.k) {
+      if (s.trimmed) {
+        adopt_trimmed_state(s.k, s.base_total, s.tail);
+      } else {
+        adopt_state(s.k, std::move(s.agreed));  // Fig. 3 lines e–f
+      }
+    } else if (s.k > k_) {
+      gossip_k_ = std::max(gossip_k_, s.k);  // small de-synchronization
+    }
+    return;
+  }
+  ABCAST_CHECK_MSG(false, "unexpected ab message type");
+}
+
+void AtomicBroadcast::send_state(ProcessId to,
+                                 std::uint64_t recipient_total) {
+  if (!options_.state_transfer) return;
+  // Throttle per peer: gossip arrives every gossip_period from a lagging
+  // process; one state message per period is plenty.
+  const TimePoint now = env_.now();
+  auto it = last_state_sent_.find(to);
+  if (it != last_state_sent_.end() &&
+      now - it->second < options_.gossip_period) {
+    return;
+  }
+  last_state_sent_[to] = now;
+  ABCAST_CHECK(k_ >= 1);
+  StateMsg s;
+  s.k = k_ - 1;
+  // §5.3 optimization: when our whole prefix is still explicit (no
+  // application checkpoint folded it away) and we know where the recipient
+  // stands, ship only the tail it is missing.
+  if (options_.trimmed_state_transfer && !agreed_.base() &&
+      recipient_total <= agreed_.suffix().size()) {
+    s.trimmed = true;
+    s.base_total = recipient_total;
+    s.tail.assign(agreed_.suffix().begin() +
+                      static_cast<std::ptrdiff_t>(recipient_total),
+                  agreed_.suffix().end());
+    metrics_.state_sent_trimmed += 1;
+  } else {
+    s.agreed = agreed_;
+  }
+  env_.send(to, make_wire(MsgType::kAbState, s));
+  metrics_.state_sent += 1;
+}
+
+void AtomicBroadcast::adopt_trimmed_state(std::uint64_t state_k,
+                                          std::uint64_t base_total,
+                                          const std::vector<AppMsg>& tail) {
+  // The omitted prefix must be exactly what we already delivered (total
+  // order makes equal counts mean equal prefixes). If we crashed since the
+  // gossip that advertised our count, our position may be smaller — then
+  // this transfer does not apply; the next gossip advertises the new count
+  // and the sender re-trims.
+  if (agreed_.total() < base_total) return;
+  auto delivered = agreed_.append_sequence(tail);
+  for (const auto& m : delivered) {
+    erase_unordered_record(m.id);
+    unordered_.erase(m.id);
+    metrics_.delivered += 1;
+    sink_.deliver(m);
+  }
+  k_ = state_k + 1;
+  metrics_.state_applied += 1;
+  prune_unordered();
+  if (options_.checkpointing) take_checkpoint();
+  drain();
+}
+
+void AtomicBroadcast::adopt_state(std::uint64_t state_k, AgreedLog incoming) {
+  // Skip the Consensus instances we missed: replace our queue wholesale
+  // (total order guarantees ours is a prefix of the incoming one), rebuild
+  // the application, and resume the sequencer from the sender's round.
+  sink_.install_checkpoint(incoming.base() ? incoming.base()->state
+                                           : Bytes{});
+  for (const auto& m : incoming.suffix()) sink_.deliver(m);
+  agreed_ = std::move(incoming);
+  k_ = state_k + 1;
+  metrics_.state_applied += 1;
+  prune_unordered();
+  if (options_.checkpointing) {
+    // Make the jump durable; otherwise a crash would replay from the old
+    // checkpoint into truncated territory.
+    take_checkpoint();
+  }
+  drain();
+}
+
+void AtomicBroadcast::checkpoint_tick() {
+  take_checkpoint();
+  env_.schedule_after(options_.checkpoint_period,
+                      [this] { checkpoint_tick(); });
+}
+
+void AtomicBroadcast::take_checkpoint() {
+  // §5.2 (Fig. 4 line b): fold the delivered suffix into an application
+  // checkpoint before logging, bounding both the record and the log.
+  if (options_.app_checkpointing) {
+    agreed_.compact(sink_.take_checkpoint());
+  }
+  BufWriter w;
+  w.u64(k_);
+  agreed_.encode(w);
+  storage_.put(kCkptKey, w.data());
+  metrics_.checkpoints += 1;
+  if (options_.truncate_logs) {
+    // Fig. 4 line c, widened to consensus-internal records. Keep a Δ-deep
+    // tail so any peer close enough NOT to trigger a state transfer can
+    // still run the instances it needs (see consensus.hpp truncate_below).
+    const std::uint64_t bound = k_ > options_.delta ? k_ - options_.delta : 0;
+    cons_.truncate_below(bound);
+  }
+}
+
+void AtomicBroadcast::on_peer_truncated(ProcessId from, InstanceId k) {
+  (void)k;
+  // The peer asked about an instance we truncated; only a state transfer
+  // can catch it up (Options::validate() guarantees it is enabled). Its
+  // position is unknown on this path: send the full state.
+  if (k_ >= 1) send_state(from, std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace abcast::core

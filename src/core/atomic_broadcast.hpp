@@ -1,0 +1,131 @@
+// Atomic Broadcast for asynchronous crash-recovery systems — the paper's
+// core contribution (Fig. 2 basic protocol; Figs. 3–5 alternative protocol).
+//
+// The protocol proceeds in rounds. In round k the process proposes its
+// Unordered set to the k-th Consensus instance; the decided batch is moved
+// to the Agreed queue under a deterministic in-batch order; gossip
+// disseminates unordered messages and round numbers. The paper's blocking
+// "wait until" pseudocode is realized as an event-driven state machine:
+//
+//   broadcast(payload)   — A-broadcast(m). Returns the message id at once;
+//                          the invocation is semantically complete when the
+//                          message is delivered (basic protocol) or as soon
+//                          as the call returns (with Options::log_unordered,
+//                          §5.4 — the Unordered set is logged before
+//                          returning).
+//   DeliverySink         — A-deliver upcalls, in total order.
+//   is_delivered(id)     — A-delivered(m) predicate.
+//
+// Logging: with Options::basic() this layer performs ZERO log operations —
+// the only log in the whole protocol is the proposal, written inside the
+// Consensus black box as its first action (§4.3 minimal-logging claim;
+// verified by bench_logops). Each §5 feature adds the specific log
+// operations the paper describes.
+#pragma once
+
+#include <map>
+
+#include "common/types.hpp"
+#include "consensus/consensus.hpp"
+#include "core/agreed_log.hpp"
+#include "core/delivery_sink.hpp"
+#include "core/options.hpp"
+#include "env/env.hpp"
+#include "storage/scoped_storage.hpp"
+
+namespace abcast::core {
+
+struct AbMetrics {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t rounds_completed = 0;
+  std::uint64_t replayed_rounds = 0;   // rounds re-applied during recovery
+  std::uint64_t proposals = 0;
+  std::uint64_t empty_proposals = 0;   // proposals for missed rounds
+  std::uint64_t gossip_sent = 0;
+  std::uint64_t gossip_received = 0;
+  std::uint64_t state_sent = 0;
+  std::uint64_t state_sent_trimmed = 0;  // of which tail-only (§5.3 opt.)
+  std::uint64_t state_applied = 0;       // state transfers adopted
+  std::uint64_t checkpoints = 0;
+};
+
+class AtomicBroadcast {
+ public:
+  /// `consensus` and `sink` must outlive this object. The consensus service
+  /// must not be started yet; the owner wires the decided/obsolete
+  /// callbacks to on_decided()/on_peer_truncated() before starting it
+  /// (NodeStack does all of this).
+  AtomicBroadcast(Env& env, ConsensusService& consensus, DeliverySink& sink,
+                  Options options);
+
+  /// Starts (or recovers) the protocol. `incarnation` must be unique per
+  /// lifetime of this process (e.g. the failure detector epoch); it makes
+  /// message ids unique across crashes at no extra log cost.
+  void start(bool recovering, std::uint64_t incarnation);
+
+  /// A-broadcast(m). See file header for completion semantics.
+  MsgId broadcast(Bytes payload);
+
+  /// A-delivered(m, ·): true once `id` is in the local delivery sequence.
+  bool is_delivered(const MsgId& id) const { return agreed_.contains(id); }
+
+  /// The local delivery sequence representation (A-deliver-sequence()).
+  const AgreedLog& agreed() const { return agreed_; }
+
+  /// Current round (the paper's kp).
+  std::uint64_t round() const { return k_; }
+
+  /// Number of messages awaiting ordering.
+  std::size_t unordered_size() const { return unordered_.size(); }
+
+  // ---- wiring ------------------------------------------------------------
+  bool handles(MsgType type) const {
+    return type == MsgType::kAbGossip || type == MsgType::kAbState;
+  }
+  void on_message(ProcessId from, const Wire& msg);
+  /// Route of the Consensus decided callback.
+  void on_decided(InstanceId k, const Bytes& value);
+  /// Route of the Consensus obsolete-instance callback (a peer asked about
+  /// a truncated instance: it needs a state transfer).
+  void on_peer_truncated(ProcessId from, InstanceId k);
+
+  const AbMetrics& metrics() const { return metrics_; }
+  const StorageStats& storage_stats() const { return storage_.stats(); }
+  const Options& options() const { return options_; }
+
+ private:
+  void send_gossip_now();
+  void gossip_tick();
+  void checkpoint_tick();
+  void take_checkpoint();
+  void maybe_propose();
+  /// Applies every locally-known decision starting at k_, then proposes.
+  void drain();
+  void apply_batch(const Bytes& value);
+  void send_state(ProcessId to, std::uint64_t recipient_total);
+  void adopt_state(std::uint64_t state_k, AgreedLog incoming);
+  void adopt_trimmed_state(std::uint64_t state_k, std::uint64_t base_total,
+                           const std::vector<AppMsg>& tail);
+  void erase_unordered_record(const MsgId& id);
+  void log_unordered_set();
+  void prune_unordered();
+
+  Env& env_;
+  ConsensusService& cons_;
+  DeliverySink& sink_;
+  Options options_;
+  ScopedStorage storage_;
+
+  std::uint64_t k_ = 0;          // round counter kp
+  std::uint64_t gossip_k_ = 0;   // highest round seen via gossip
+  AgreedLog agreed_;
+  std::map<MsgId, AppMsg> unordered_;
+  std::uint64_t incarnation_ = 0;
+  std::uint64_t counter_ = 0;    // per-incarnation broadcast counter
+  std::map<ProcessId, TimePoint> last_state_sent_;
+  AbMetrics metrics_;
+  bool started_ = false;
+};
+
+}  // namespace abcast::core

@@ -1,0 +1,16 @@
+#include "core/crash_stop_ab.hpp"
+
+namespace abcast::core {
+
+StackConfig crash_stop_baseline_config(ConsensusKind engine) {
+  StackConfig config;
+  config.engine = engine;
+  config.ab = Options::basic();
+  config.ab.eager_dissemination = true;
+  // With eager relay the periodic gossip only repairs channel loss; slow
+  // it down so it does not dominate message counts.
+  config.ab.gossip_period = millis(200);
+  return config;
+}
+
+}  // namespace abcast::core

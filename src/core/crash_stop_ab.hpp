@@ -1,0 +1,22 @@
+// Baseline: Chandra-Toueg-style Atomic Broadcast for the crash-stop
+// (no-recovery) model (paper §5.6 observes that when crashes are definitive
+// the crash-recovery protocol "reduces to" this one).
+//
+// The baseline is the same stack configured for a world without recovery:
+//   * eager relay of new messages (no periodic gossip needed for liveness,
+//     but kept as a slow fallback against channel loss);
+//   * no durability: pair the stack with DiscardStorage — a crash-stop
+//     process never reads its log, so every log op is a no-op. Operation
+//     counters still run, which is how bench_ct_baseline reports the
+//     crash-recovery machinery's logging overhead against this baseline.
+#pragma once
+
+#include "core/node_stack.hpp"
+
+namespace abcast::core {
+
+/// Stack configuration for the crash-stop baseline. Use together with a
+/// DiscardStorage-backed host.
+StackConfig crash_stop_baseline_config(ConsensusKind engine);
+
+}  // namespace abcast::core

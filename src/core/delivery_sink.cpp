@@ -1,0 +1,21 @@
+#include "core/delivery_sink.hpp"
+
+#include "common/check.hpp"
+
+namespace abcast::core {
+
+Bytes DeliverySink::take_checkpoint() {
+  ABCAST_CHECK_MSG(false,
+                   "application does not implement A-checkpoint; disable "
+                   "Options::app_checkpointing");
+  return {};
+}
+
+void DeliverySink::install_checkpoint(const Bytes& state) {
+  (void)state;
+  ABCAST_CHECK_MSG(false,
+                   "application does not implement checkpoint install; "
+                   "disable state transfer / checkpointing");
+}
+
+}  // namespace abcast::core

@@ -1,0 +1,37 @@
+// Upper-layer interface of Atomic Broadcast (paper Figures 1 and 5).
+#pragma once
+
+#include "common/types.hpp"
+#include "core/app_msg.hpp"
+
+namespace abcast::core {
+
+/// What the application plugs into the Atomic Broadcast layer.
+///
+/// deliver() is the A-deliver upcall: invoked for every message, in the
+/// single total order, exactly once per process incarnation position.
+///
+/// The two checkpoint methods realize the paper's augmented interface
+/// (Fig. 5): take_checkpoint() is the A-checkpoint(σ) upcall returning a
+/// state that "logically contains" everything delivered so far, and
+/// install_checkpoint() replaces the application state wholesale (used on
+/// recovery from a logged checkpoint and on state transfer). Applications
+/// running the basic protocol without checkpointing can rely on the default
+/// failing implementations.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+
+  virtual void deliver(const AppMsg& msg) = 0;
+
+  /// Returns the full application state. Only called when
+  /// Options::app_checkpointing is enabled.
+  virtual Bytes take_checkpoint();
+
+  /// Replaces the application state with `state` (which may be empty,
+  /// meaning A-checkpoint(⊥): the initial state). Called before the
+  /// suffix of messages following the checkpoint is re-delivered.
+  virtual void install_checkpoint(const Bytes& state);
+};
+
+}  // namespace abcast::core

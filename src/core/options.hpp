@@ -1,0 +1,98 @@
+// Feature flags selecting between the paper's basic protocol (Fig. 2) and
+// the alternative protocol (Figs. 3–5). Each §5 mechanism is independently
+// toggleable so the ablation benches can isolate one at a time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace abcast::core {
+
+struct Options {
+  /// Gossip task period (paper §4.2 — "repeat forever multisend gossip").
+  Duration gossip_period = millis(30);
+
+  /// Additionally multisend each new message the moment it is broadcast
+  /// (instead of waiting for the next gossip tick). This approximates the
+  /// eager relay of the crash-stop Chandra-Toueg transformation and is used
+  /// by the baseline configuration.
+  bool eager_dissemination = false;
+
+  // ---- §5.1: avoiding the replay phase ---------------------------------
+  /// Periodically log (k, Agreed) so recovery resumes from the checkpoint
+  /// instead of replaying every decided Consensus instance.
+  bool checkpointing = false;
+  Duration checkpoint_period = millis(500);
+  /// Also truncate Consensus records made obsolete by the checkpoint
+  /// (Fig. 4 line c) — bounds the log but requires state transfer to serve
+  /// processes that lag past the truncation horizon.
+  bool truncate_logs = false;
+
+  // ---- §5.2: application-level checkpoints ------------------------------
+  /// Replace the delivered-message suffix with the application state from
+  /// the A-checkpoint upcall at every checkpoint. Requires checkpointing.
+  bool app_checkpointing = false;
+
+  // ---- §5.3: state transfer ---------------------------------------------
+  /// Send/accept state messages when a peer lags by more than `delta`
+  /// rounds (Fig. 3 lines d–f).
+  bool state_transfer = false;
+  std::uint64_t delta = 4;
+  /// §5.3's closing optimization: "the state message can be made to carry
+  /// only those messages that are not known by the recipient". Gossip
+  /// advertises the local delivered count; state messages then ship only
+  /// the missing tail of the sequence. Falls back to a full transfer when
+  /// the sender's own prefix is folded into an application checkpoint.
+  bool trimmed_state_transfer = false;
+
+  // ---- §5.4: message batches / early return -----------------------------
+  /// Log the Unordered set on every A-broadcast so the call durably
+  /// completes before ordering (higher throughput; one more log op per
+  /// broadcast).
+  bool log_unordered = false;
+
+  // ---- §5.5: incremental logging -----------------------------------------
+  /// When logging Unordered, write only the new message instead of the
+  /// whole set (one small record per message, erased once ordered).
+  bool incremental_unordered_log = false;
+
+  /// Fig. 2 exactly: the only log operation is the Consensus proposal.
+  static Options basic() { return Options{}; }
+
+  /// Figs. 3–5 with every extension on (including the §5.3 trimmed-
+  /// transfer note; with app checkpoints enabled it only applies to
+  /// transfers sent before the first compaction).
+  static Options alternative() {
+    Options o;
+    o.checkpointing = true;
+    o.truncate_logs = true;
+    o.app_checkpointing = true;
+    o.state_transfer = true;
+    o.trimmed_state_transfer = true;
+    o.log_unordered = true;
+    o.incremental_unordered_log = true;
+    return o;
+  }
+
+  void validate() const {
+    ABCAST_CHECK(gossip_period > 0);
+    ABCAST_CHECK_MSG(!app_checkpointing || checkpointing,
+                     "app_checkpointing requires checkpointing");
+    ABCAST_CHECK_MSG(!truncate_logs || checkpointing,
+                     "truncate_logs requires checkpointing");
+    ABCAST_CHECK_MSG(!truncate_logs || state_transfer,
+                     "truncate_logs requires state_transfer (a process that "
+                     "lags past the truncation horizon can only catch up "
+                     "via a state message)");
+    ABCAST_CHECK_MSG(!incremental_unordered_log || log_unordered,
+                     "incremental_unordered_log requires log_unordered");
+    ABCAST_CHECK_MSG(!trimmed_state_transfer || state_transfer,
+                     "trimmed_state_transfer requires state_transfer");
+    if (checkpointing) ABCAST_CHECK(checkpoint_period > 0);
+    if (state_transfer) ABCAST_CHECK(delta >= 1);
+  }
+};
+
+}  // namespace abcast::core

@@ -1,0 +1,65 @@
+// Checkpoint vector clock (paper §5.2).
+//
+// vc[p] is the highest sequence number from sender p contained in a
+// delivery prefix. Because the protocol delivers each sender's messages in
+// increasing sequence order (a consequence of gossip-set monotonicity plus
+// the deterministic in-batch rule — see AgreedLog), "everything from p up
+// to vc[p]" exactly describes the prefix, which is what lets an
+// application-level checkpoint replace the explicit message log.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/codec.hpp"
+#include "common/types.hpp"
+
+namespace abcast::core {
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::uint32_t n) : last_(n, 0) {}
+
+  /// True if a message with this id is contained in the prefix this clock
+  /// describes.
+  bool covers(const MsgId& id) const {
+    ABCAST_CHECK(id.sender < last_.size());
+    return last_[id.sender] >= id.seq;
+  }
+
+  /// Extends the prefix with `id`. Must advance: the caller filters
+  /// non-advancing (duplicate/stale) ids with covers() first.
+  void observe(const MsgId& id) {
+    ABCAST_CHECK(id.sender < last_.size());
+    ABCAST_CHECK_MSG(id.seq > last_[id.sender],
+                     "vector clock must advance monotonically");
+    last_[id.sender] = id.seq;
+  }
+
+  std::uint64_t last_of(ProcessId p) const {
+    ABCAST_CHECK(p < last_.size());
+    return last_[p];
+  }
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(last_.size()); }
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+  void encode(BufWriter& w) const {
+    w.u32(size());
+    for (const auto v : last_) w.u64(v);
+  }
+  static VectorClock decode(BufReader& r) {
+    const auto n = r.u32();
+    VectorClock vc(n);
+    for (std::uint32_t i = 0; i < n; ++i) vc.last_[i] = r.u64();
+    return vc;
+  }
+
+ private:
+  std::vector<std::uint64_t> last_;
+};
+
+}  // namespace abcast::core

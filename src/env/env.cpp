@@ -1,0 +1,4 @@
+#include "env/env.hpp"
+
+// Interface-only module; this TU anchors the library target.
+namespace abcast {}

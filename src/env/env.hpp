@@ -1,0 +1,97 @@
+// Host environment seen by protocol code.
+//
+// Protocol modules (failure detector, consensus, atomic broadcast, apps) are
+// written against Env + NodeApp only, so the same objects run under the
+// deterministic simulator (src/sim) and the threaded real-time runtime
+// (src/rt).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "env/stable_storage.hpp"
+#include "env/wire.hpp"
+
+namespace abcast {
+
+/// Handle for a pending timer; 0 is never a valid id.
+using TimerId = std::uint64_t;
+
+/// Per-process host services. All callbacks into protocol code (timers,
+/// message delivery) are serialized by the host: a protocol object never
+/// needs its own locking.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  Env() = default;
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// This process's identity, in 0..group_size()-1.
+  virtual ProcessId self() const = 0;
+
+  /// Number of processes in the group (the paper's Π).
+  virtual std::uint32_t group_size() const = 0;
+
+  /// Current time (virtual in the simulator, steady-clock in rt).
+  virtual TimePoint now() const = 0;
+
+  /// Runs `fn` once after `delay`, unless cancelled or the process crashes
+  /// first (a crash silently cancels all pending timers — they are volatile
+  /// state).
+  virtual TimerId schedule_after(Duration delay,
+                                 std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; no-op if already fired or cancelled.
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Unreliable send (the paper's transport): the message may be lost,
+  /// duplicated, or arbitrarily delayed, but the channel is fair — a message
+  /// sent infinitely often is received infinitely often.
+  virtual void send(ProcessId to, const Wire& msg) = 0;
+
+  /// The paper's `multisend` macro: best-effort send to every process,
+  /// including self.
+  void multisend(const Wire& msg) {
+    for (ProcessId p = 0; p < group_size(); ++p) send(p, msg);
+  }
+
+  /// This process's stable storage (survives crashes).
+  virtual StableStorage& storage() = 0;
+
+  /// Host-provided deterministic randomness (for jitter etc.).
+  virtual Rng& rng() = 0;
+};
+
+/// A protocol stack instance hosted on one process.
+///
+/// Lifecycle: the host constructs the NodeApp (via NodeFactory), calls
+/// start() exactly once, then delivers messages via on_message(). On a crash
+/// the host *destroys* the object — losing all volatile state by
+/// construction — and on recovery constructs a fresh instance with
+/// recovering=true.
+class NodeApp {
+ public:
+  virtual ~NodeApp() = default;
+
+  NodeApp() = default;
+  NodeApp(const NodeApp&) = delete;
+  NodeApp& operator=(const NodeApp&) = delete;
+
+  /// Called once after construction. `recovering` is true when this process
+  /// has been up before (i.e., stable storage may hold logged state).
+  virtual void start(bool recovering) = 0;
+
+  /// Called for each datagram consumed from the input buffer.
+  virtual void on_message(ProcessId from, const Wire& msg) = 0;
+};
+
+/// Creates the protocol stack for a process; invoked at initial start and at
+/// every recovery. The Env pointer remains valid for the NodeApp's lifetime.
+using NodeFactory = std::function<std::unique_ptr<NodeApp>(Env&)>;
+
+}  // namespace abcast

@@ -1,0 +1,72 @@
+// Stable storage abstraction (the paper's log / retrieve primitives).
+//
+// A process's stable storage survives crashes; everything else (volatile
+// memory, in-flight messages, timers) is lost. The paper's efficiency
+// argument is counted in *log operations*, so every implementation keeps a
+// StorageStats the experiments read.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace abcast {
+
+/// Operation and footprint accounting for a stable storage instance.
+/// `put_ops` is the paper's "number of log operations".
+struct StorageStats {
+  std::uint64_t put_ops = 0;
+  std::uint64_t get_ops = 0;
+  std::uint64_t erase_ops = 0;
+  std::uint64_t bytes_written = 0;
+
+  StorageStats& operator+=(const StorageStats& o) {
+    put_ops += o.put_ops;
+    get_ops += o.get_ops;
+    erase_ops += o.erase_ops;
+    bytes_written += o.bytes_written;
+    return *this;
+  }
+};
+
+/// Keyed record store with atomic overwrite semantics.
+///
+/// `put` is the paper's `log`: after it returns, the record survives any
+/// subsequent crash. `get` is the paper's `retrieve`. Keys are structured
+/// paths like "ab/proposed/42" so `keys_with_prefix` can enumerate, e.g.,
+/// all logged proposals during recovery.
+class StableStorage {
+ public:
+  virtual ~StableStorage() = default;
+
+  StableStorage() = default;
+  StableStorage(const StableStorage&) = delete;
+  StableStorage& operator=(const StableStorage&) = delete;
+
+  /// Durably writes `value` under `key`, replacing any previous record
+  /// atomically (a crash leaves either the old or the new value, never a
+  /// mix). Counted as one log operation.
+  virtual void put(std::string_view key, const Bytes& value) = 0;
+
+  /// Reads the record under `key`, or nullopt if absent.
+  virtual std::optional<Bytes> get(std::string_view key) = 0;
+
+  /// Durably removes the record under `key` (no-op if absent).
+  virtual void erase(std::string_view key) = 0;
+
+  /// All stored keys beginning with `prefix`, in lexicographic order.
+  virtual std::vector<std::string> keys_with_prefix(
+      std::string_view prefix) = 0;
+
+  /// Current footprint in bytes (sum of stored key+value sizes). Drives the
+  /// log-size-growth experiment (paper §5.2).
+  virtual std::uint64_t footprint_bytes() = 0;
+
+  virtual const StorageStats& stats() const = 0;
+};
+
+}  // namespace abcast

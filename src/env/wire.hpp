@@ -1,0 +1,82 @@
+// Wire-level message envelope shared by all protocol layers.
+#pragma once
+
+#include <cstdint>
+
+#include "common/codec.hpp"
+#include "common/types.hpp"
+
+namespace abcast {
+
+/// Discriminates protocol messages on the wire. All layers share one
+/// namespace so a host can dispatch a received datagram to the right module
+/// without protocol-specific framing.
+enum class MsgType : std::uint16_t {
+  // Failure detectors (src/fd)
+  kFdHeartbeat = 1,  // epoch detector: carries the sender's epoch
+  kFdAlive = 2,      // suspect-list detector: bounded output, no epoch
+
+  // Paxos consensus engine (src/consensus)
+  kPaxosPrepare = 16,
+  kPaxosPromise = 17,
+  kPaxosAccept = 18,
+  kPaxosAccepted = 19,
+  kPaxosNack = 20,
+  kPaxosDecided = 21,
+  kPaxosDecidedAck = 22,
+
+  // Rotating-coordinator consensus engine (src/consensus)
+  kCoordEstimate = 32,
+  kCoordNewEstimate = 33,
+  kCoordAck = 34,
+  kCoordNack = 35,
+  kCoordDecide = 36,
+  kCoordDecideAck = 37,
+
+  // Atomic broadcast (src/core)
+  kAbGossip = 48,
+  kAbState = 49,
+
+  // Crash-stop Chandra-Toueg-style baseline (src/core)
+  kCsRelay = 64,
+
+  // Multi-group total order multicast (src/multicast): the inter-group
+  // proposal push / fill datagram. Intra-group control rides inside the
+  // group's Atomic Broadcast payloads.
+  kMgFill = 80,
+
+  // Quorum-based replication (src/apps/quorum): weighted-voting data path.
+  // Configuration (vote reassignment) rides inside Atomic Broadcast.
+  kQrRead = 96,
+  kQrReadReply = 97,
+  kQrWrite = 98,
+  kQrWriteAck = 99,
+  kQrStaleEpoch = 100,
+};
+
+/// A datagram: a message-type tag plus an opaque serialized payload. The
+/// payload codec is owned by the layer that owns the MsgType.
+struct Wire {
+  MsgType type{};
+  Bytes payload;
+
+  void encode(BufWriter& w) const {
+    w.u16(static_cast<std::uint16_t>(type));
+    w.bytes(payload);
+  }
+
+  static Wire decode(BufReader& r) {
+    Wire msg;
+    msg.type = static_cast<MsgType>(r.u16());
+    msg.payload = r.bytes();
+    return msg;
+  }
+};
+
+/// Builds a Wire from a payload struct exposing encode(BufWriter&).
+template <typename T>
+Wire make_wire(MsgType type, const T& payload) {
+  return Wire{type, encode_to_bytes(payload)};
+}
+
+}  // namespace abcast

@@ -1,0 +1,113 @@
+#include "fd/failure_detector.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/codec.hpp"
+#include "common/logging.hpp"
+
+namespace abcast {
+namespace {
+
+constexpr const char* kEpochKey = "epoch";
+
+struct HeartbeatMsg {
+  std::uint64_t epoch = 0;
+
+  void encode(BufWriter& w) const { w.u64(epoch); }
+  static HeartbeatMsg decode(BufReader& r) { return HeartbeatMsg{r.u64()}; }
+};
+
+}  // namespace
+
+EpochFailureDetector::EpochFailureDetector(Env& env, FdConfig config)
+    : env_(env), config_(config), storage_(env.storage(), "fd"),
+      peers_(env.group_size()) {
+  ABCAST_CHECK(config_.heartbeat_period > 0);
+  ABCAST_CHECK(config_.initial_timeout > 0);
+}
+
+void EpochFailureDetector::start(bool recovering) {
+  (void)recovering;  // the epoch record itself tells us whether we lived before
+  std::uint64_t prev = 0;
+  if (auto rec = storage_.get(kEpochKey)) {
+    BufReader r(*rec);
+    prev = r.u64();
+    r.expect_done();
+  }
+  epoch_ = prev + 1;
+  BufWriter w;
+  w.u64(epoch_);
+  storage_.put(kEpochKey, w.data());
+
+  const TimePoint now = env_.now();
+  for (ProcessId p = 0; p < env_.group_size(); ++p) {
+    auto& st = peers_[p];
+    st.timeout = config_.initial_timeout;
+    // Start optimistic: trust everyone until the first timeout expires.
+    st.trusted = true;
+    st.last_heard = now;
+  }
+  tick();
+}
+
+void EpochFailureDetector::tick() {
+  env_.multisend(make_wire(MsgType::kFdHeartbeat, HeartbeatMsg{epoch_}));
+
+  const TimePoint now = env_.now();
+  for (ProcessId p = 0; p < env_.group_size(); ++p) {
+    if (p == env_.self()) continue;
+    auto& st = peers_[p];
+    if (st.trusted && now - st.last_heard > st.timeout) {
+      st.trusted = false;
+      ABCAST_LOG(kDebug, "fd@" << env_.self() << " suspects " << p);
+    }
+  }
+
+  env_.schedule_after(config_.heartbeat_period, [this] { tick(); });
+}
+
+void EpochFailureDetector::on_message(ProcessId from, const Wire& msg) {
+  ABCAST_CHECK(msg.type == MsgType::kFdHeartbeat);
+  const auto hb = decode_from_bytes<HeartbeatMsg>(msg.payload);
+  auto& st = peers_[from];
+  const bool was_suspected = st.ever_heard && !st.trusted && from != env_.self();
+  if (was_suspected && hb.epoch == st.epoch) {
+    // The peer was alive all along — we were too impatient. Back off.
+    wrong_suspicions_ += 1;
+    st.timeout += config_.timeout_increment;
+  }
+  st.last_heard = env_.now();
+  st.epoch = std::max(st.epoch, hb.epoch);
+  st.trusted = true;
+  st.ever_heard = true;
+}
+
+bool EpochFailureDetector::trusted(ProcessId p) const {
+  ABCAST_CHECK(p < peers_.size());
+  if (p == env_.self()) return true;
+  return peers_[p].trusted;
+}
+
+ProcessId EpochFailureDetector::leader() const {
+  for (ProcessId p = 0; p < env_.group_size(); ++p) {
+    if (trusted(p)) return p;
+  }
+  return env_.self();
+}
+
+std::vector<ProcessId> EpochFailureDetector::trusted_set() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < env_.group_size(); ++p) {
+    if (trusted(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::uint64_t EpochFailureDetector::epoch_of(ProcessId p) const {
+  ABCAST_CHECK(p < peers_.size());
+  if (p == env_.self()) return epoch_;
+  return peers_[p].epoch;
+}
+
+}  // namespace abcast

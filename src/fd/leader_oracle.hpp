@@ -1,0 +1,26 @@
+// Minimal oracle interface the consensus engines consume.
+//
+// The paper stresses that its Atomic Broadcast is "not bound to any
+// particular failure detection mechanism"; consensus engines therefore
+// depend only on this interface, and the epoch failure detector is just one
+// implementation.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace abcast {
+
+class LeaderOracle {
+ public:
+  virtual ~LeaderOracle() = default;
+
+  /// True if this process currently believes `p` is up.
+  virtual bool trusted(ProcessId p) const = 0;
+
+  /// The process this oracle currently nominates to drive agreement
+  /// (an Ω-style hint: eventually all good processes nominate the same
+  /// good process). Always returns some process id.
+  virtual ProcessId leader() const = 0;
+};
+
+}  // namespace abcast

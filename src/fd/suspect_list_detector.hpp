@@ -1,0 +1,58 @@
+// Bounded-output failure detector: a plain suspect list (paper §3.5,
+// citing Hurfin-Mostefaoui-Raynal and Oliveira-Guerraoui-Schiper).
+//
+// Heartbeats carry no epoch, so the output is bounded — but, as the paper
+// notes, such detectors cannot distinguish a recovered process from one
+// that never crashed. Operationally that means every flap looks like a
+// wrong suspicion and grows the adaptive timeout, and the stack must log
+// its own incarnation number (one extra log op per recovery compared with
+// the epoch detector — reported by the E1 experiment when configured).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fd/failure_detector.hpp"
+#include "fd/failure_detector_base.hpp"
+
+namespace abcast {
+
+class SuspectListDetector final : public FailureDetector {
+ public:
+  SuspectListDetector(Env& env, FdConfig config);
+
+  void start(bool recovering) override;
+  bool handles(MsgType type) const override {
+    return type == MsgType::kFdAlive;
+  }
+  void on_message(ProcessId from, const Wire& msg) override;
+
+  // LeaderOracle
+  bool trusted(ProcessId p) const override;
+  ProcessId leader() const override;
+
+  std::vector<ProcessId> trusted_set() const override;
+  std::uint64_t wrong_suspicions() const override {
+    return wrong_suspicions_;
+  }
+
+  /// The bounded output itself: currently suspected processes.
+  std::vector<ProcessId> suspects() const;
+
+ private:
+  struct PeerState {
+    TimePoint last_heard = 0;
+    Duration timeout = 0;
+    bool trusted = false;
+  };
+
+  void tick();
+
+  Env& env_;
+  FdConfig config_;
+  std::vector<PeerState> peers_;
+  std::uint64_t wrong_suspicions_ = 0;
+};
+
+}  // namespace abcast

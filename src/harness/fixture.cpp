@@ -1,0 +1,92 @@
+#include "harness/fixture.hpp"
+
+#include "common/check.hpp"
+
+namespace abcast::harness {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), sim_(config.sim), oracle_(config.sim.n) {
+  oracle_.set_clock([this] { return sim_.now(); });
+  sinks_.reserve(config_.sim.n);
+  for (ProcessId p = 0; p < config_.sim.n; ++p) {
+    sinks_.push_back(std::make_unique<OracleSink>(oracle_, p));
+  }
+  sim_.set_node_factory([this](Env& env) {
+    const ProcessId pid = env.self();
+    // A fresh incarnation restarts its delivery sequence (unless it
+    // installs a checkpoint during recovery).
+    oracle_.on_restart(pid);
+    return std::make_unique<core::NodeStack>(env, config_.stack,
+                                             *sinks_[pid]);
+  });
+}
+
+core::NodeStack* Cluster::stack(ProcessId p) {
+  // The factory above only ever creates NodeStacks.
+  return static_cast<core::NodeStack*>(sim_.node(p));
+}
+
+MsgId Cluster::broadcast(ProcessId p, Bytes payload) {
+  core::NodeStack* s = stack(p);
+  ABCAST_CHECK_MSG(s != nullptr, "broadcast from a down process");
+  const MsgId id = s->ab().broadcast(std::move(payload));
+  oracle_.on_broadcast(id, sim_.now());
+  return id;
+}
+
+std::vector<MsgId> Cluster::broadcast_many(ProcessId p, std::size_t count) {
+  std::vector<MsgId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ids.push_back(broadcast(p));
+  return ids;
+}
+
+bool Cluster::await_delivery(const std::vector<MsgId>& ids,
+                             std::vector<ProcessId> at, Duration timeout) {
+  if (at.empty()) at = all_processes();
+  return sim_.run_until_pred(
+      [&] { return oracle_.all_delivered(ids, at); },
+      sim_.now() + timeout);
+}
+
+bool Cluster::await_round(std::uint64_t k, Duration timeout) {
+  return sim_.run_until_pred(
+      [&] {
+        for (ProcessId p = 0; p < sim_.n(); ++p) {
+          core::NodeStack* s = stack(p);
+          if (s != nullptr && s->ab().round() < k) return false;
+        }
+        return true;
+      },
+      sim_.now() + timeout);
+}
+
+std::vector<ProcessId> Cluster::all_processes() const {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < config_.sim.n; ++p) out.push_back(p);
+  return out;
+}
+
+std::vector<ProcessId> Cluster::up_processes() {
+  std::vector<ProcessId> out;
+  for (ProcessId p = 0; p < sim_.n(); ++p) {
+    if (sim_.host(p).is_up()) out.push_back(p);
+  }
+  return out;
+}
+
+Cluster::LogOps Cluster::log_ops(ProcessId p) {
+  // Per-scope counters live in the host-side storage so they survive
+  // crashes; this requires the default MemStableStorage.
+  auto* mem = dynamic_cast<MemStableStorage*>(&sim_.host(p).storage());
+  ABCAST_CHECK_MSG(mem != nullptr,
+                   "log_ops requires MemStableStorage-backed hosts");
+  LogOps ops;
+  ops.fd = mem->scope_stats("fd").put_ops;
+  ops.consensus = mem->scope_stats("cons").put_ops;
+  ops.ab = mem->scope_stats("ab").put_ops;
+  ops.total = mem->stats().put_ops;
+  return ops;
+}
+
+}  // namespace abcast::harness

@@ -1,0 +1,70 @@
+// One-call cluster setup: a Simulation running NodeStacks over OracleSinks,
+// with broadcast/await conveniences. Shared by the test suite and by every
+// bench binary.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/node_stack.hpp"
+#include "harness/oracle.hpp"
+#include "sim/simulation.hpp"
+
+namespace abcast::harness {
+
+struct ClusterConfig {
+  sim::SimConfig sim;
+  core::StackConfig stack;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  /// Starts every process at time zero.
+  void start_all() { sim_.start_all(); }
+
+  sim::Simulation& sim() { return sim_; }
+  Oracle& oracle() { return oracle_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// The protocol stack of `p`, or nullptr while p is down.
+  core::NodeStack* stack(ProcessId p);
+
+  /// A-broadcasts a payload from `p` (p must be up) and registers the id
+  /// with the oracle.
+  MsgId broadcast(ProcessId p, Bytes payload = {});
+
+  /// Broadcasts `count` small messages from `p`.
+  std::vector<MsgId> broadcast_many(ProcessId p, std::size_t count);
+
+  /// Runs until all ids are delivered at all listed processes (default: at
+  /// every process). Returns false on timeout.
+  bool await_delivery(const std::vector<MsgId>& ids,
+                      std::vector<ProcessId> at = {},
+                      Duration timeout = seconds(60));
+
+  /// Runs until every up process has completed at least `k` rounds.
+  bool await_round(std::uint64_t k, Duration timeout = seconds(60));
+
+  std::vector<ProcessId> all_processes() const;
+  std::vector<ProcessId> up_processes();
+
+  /// Sum of log operations (stable-storage puts) across processes, split
+  /// by layer scope. Reads each host's storage stats.
+  struct LogOps {
+    std::uint64_t fd = 0;
+    std::uint64_t consensus = 0;
+    std::uint64_t ab = 0;
+    std::uint64_t total = 0;
+  };
+  LogOps log_ops(ProcessId p);
+
+ private:
+  ClusterConfig config_;
+  sim::Simulation sim_;
+  Oracle oracle_;
+  std::vector<std::unique_ptr<OracleSink>> sinks_;
+};
+
+}  // namespace abcast::harness

@@ -1,0 +1,27 @@
+// Plain-text table printer for the bench binaries' paper-style rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace abcast::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; cells are pre-formatted strings.
+  void row(std::vector<std::string> cells);
+
+  /// Formats a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace abcast::harness

@@ -1,0 +1,47 @@
+#include "multicast/group_env.hpp"
+
+#include <set>
+
+namespace abcast::multicast {
+
+std::uint32_t GroupTopology::group_of(ProcessId pid) const {
+  for (std::uint32_t g = 0; g < groups.size(); ++g) {
+    for (const ProcessId member : groups[g]) {
+      if (member == pid) return g;
+    }
+  }
+  ABCAST_CHECK_MSG(false, "process belongs to no group");
+  return 0;
+}
+
+void GroupTopology::validate(std::uint32_t n) const {
+  ABCAST_CHECK_MSG(!groups.empty(), "topology has no groups");
+  std::set<ProcessId> seen;
+  for (const auto& group : groups) {
+    ABCAST_CHECK_MSG(!group.empty(), "empty group");
+    for (const ProcessId pid : group) {
+      ABCAST_CHECK_MSG(pid < n, "group member out of range");
+      ABCAST_CHECK_MSG(seen.insert(pid).second,
+                       "groups must be disjoint");
+    }
+  }
+}
+
+GroupEnv::GroupEnv(Env& parent, std::vector<ProcessId> members)
+    : parent_(parent), members_(std::move(members)) {
+  for (ProcessId i = 0; i < members_.size(); ++i) {
+    if (members_[i] == parent_.self()) self_index_ = i;
+  }
+  ABCAST_CHECK_MSG(self_index_ != kNoProcess,
+                   "process is not a member of its own group");
+}
+
+ProcessId GroupEnv::member_index(ProcessId global_pid) const {
+  for (ProcessId i = 0; i < members_.size(); ++i) {
+    if (members_[i] == global_pid) return i;
+  }
+  ABCAST_CHECK_MSG(false, "pid not in group");
+  return kNoProcess;
+}
+
+}  // namespace abcast::multicast

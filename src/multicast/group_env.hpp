@@ -1,0 +1,64 @@
+// Group-scoped view of a host Env.
+//
+// Total-order multicast to distinct groups (paper §6.4) runs one Atomic
+// Broadcast stack per group. GroupEnv narrows a process's host environment
+// to its group: the inner stack sees `group_size() == |group|` and member
+// indices 0..|group|-1, while sends are translated to global process ids.
+// Timers, storage and randomness pass straight through (one stack per
+// process, so no key collisions).
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "env/env.hpp"
+
+namespace abcast::multicast {
+
+/// Disjoint partition of the global process space into groups.
+struct GroupTopology {
+  std::vector<std::vector<ProcessId>> groups;
+
+  std::uint32_t group_count() const {
+    return static_cast<std::uint32_t>(groups.size());
+  }
+
+  /// Group containing the global process `pid`; checks membership.
+  std::uint32_t group_of(ProcessId pid) const;
+
+  /// Validates disjointness and non-emptiness against `n` processes.
+  void validate(std::uint32_t n) const;
+};
+
+class GroupEnv final : public Env {
+ public:
+  /// `members` lists the global pids of this process's group; `parent`
+  /// must contain `parent.self()` among them and outlive this adapter.
+  GroupEnv(Env& parent, std::vector<ProcessId> members);
+
+  ProcessId self() const override { return self_index_; }
+  std::uint32_t group_size() const override {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+  TimePoint now() const override { return parent_.now(); }
+  TimerId schedule_after(Duration delay, std::function<void()> fn) override {
+    return parent_.schedule_after(delay, std::move(fn));
+  }
+  void cancel_timer(TimerId id) override { parent_.cancel_timer(id); }
+  void send(ProcessId to, const Wire& msg) override {
+    ABCAST_CHECK(to < members_.size());
+    parent_.send(members_[to], msg);
+  }
+  StableStorage& storage() override { return parent_.storage(); }
+  Rng& rng() override { return parent_.rng(); }
+
+  /// Translates a global pid into the member index (checks membership).
+  ProcessId member_index(ProcessId global_pid) const;
+
+ private:
+  Env& parent_;
+  std::vector<ProcessId> members_;
+  ProcessId self_index_ = kNoProcess;
+};
+
+}  // namespace abcast::multicast

@@ -1,0 +1,330 @@
+#include "net/udp_env.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <future>
+#include <stdexcept>
+
+#include "common/check.hpp"
+#include "common/codec.hpp"
+
+namespace abcast::net {
+namespace {
+
+constexpr std::size_t kMaxDatagram = 64 * 1024;
+
+int make_udp_socket(const std::string& host, std::uint16_t port,
+                    std::uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw std::runtime_error("socket() failed");
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    throw std::runtime_error("bind() failed on " + host + ":" +
+                             std::to_string(port));
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof actual;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len);
+  *bound_port = ntohs(actual.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+UdpHost::UdpHost(UdpConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed * 7919 + config_.self),
+      storage_(config_.storage_factory ? config_.storage_factory()
+                                       : std::make_unique<MemStableStorage>()),
+      epoch_(std::chrono::steady_clock::now()) {
+  ABCAST_CHECK(config_.self < config_.peers.size());
+
+  const auto& me = config_.peers[config_.self];
+  fd_ = make_udp_socket(me.host, me.port, &local_port_);
+
+  // Resolve peers once; index = pid.
+  for (const auto& peer : config_.peers) {
+    std::uint32_t ip = 0;
+    if (::inet_pton(AF_INET, peer.host.c_str(), &ip) != 1) {
+      ::close(fd_);
+      throw std::runtime_error("bad peer address: " + peer.host);
+    }
+    peer_addrs_.emplace_back(ip, peer.port);
+  }
+
+  if (::pipe(wake_fds_) != 0) {
+    ::close(fd_);
+    throw std::runtime_error("pipe() failed");
+  }
+  const int wf = ::fcntl(wake_fds_[0], F_GETFL, 0);
+  ::fcntl(wake_fds_[0], F_SETFL, wf | O_NONBLOCK);
+
+  thread_ = std::thread([this] { loop(); });
+}
+
+UdpHost::~UdpHost() {
+  shutdown();
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+void UdpHost::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void UdpHost::wake() {
+  const char b = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fds_[1], &b, 1);
+}
+
+TimePoint UdpHost::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TimerId UdpHost::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task t;
+    t.due = now() + delay;
+    t.seq = next_seq_++;
+    t.incarnation = incarnation_;
+    t.fn = std::move(fn);
+    id = t.seq;
+    tasks_.push(std::move(t));
+  }
+  wake();
+  return id;
+}
+
+void UdpHost::cancel_timer(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_.push_back(id);
+}
+
+void UdpHost::send(ProcessId to, const Wire& msg) {
+  ABCAST_CHECK(to < peer_addrs_.size());
+  BufWriter w;
+  w.u32(config_.self);  // frame: sender pid + wire
+  msg.encode(w);
+  const Bytes& frame = w.data();
+  if (frame.size() > kMaxDatagram) {
+    send_failures_.fetch_add(1);  // UDP cannot carry it; drop (unreliable)
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = peer_addrs_[to].first;
+  addr.sin_port = htons(peer_addrs_[to].second);
+  const auto n =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (n < 0) send_failures_.fetch_add(1);  // full buffers etc.: a lost
+                                           // datagram, which UDP permits
+}
+
+void UdpHost::start_node(const NodeFactory& factory, bool recovering) {
+  std::promise<void> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task t;
+    t.due = now();
+    t.seq = next_seq_++;
+    t.fn = [this, &factory, recovering, &done] {
+      ABCAST_CHECK_MSG(node_ == nullptr, "udp node already up");
+      node_ = factory(*this);
+      up_.store(true);
+      node_->start(recovering);
+      done.set_value();
+    };
+    tasks_.push(std::move(t));
+  }
+  wake();
+  done.get_future().get();
+}
+
+void UdpHost::crash_node() {
+  std::promise<void> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task t;
+    t.due = now();
+    t.seq = next_seq_++;
+    t.fn = [this, &done] {
+      ABCAST_CHECK_MSG(node_ != nullptr, "udp node already down");
+      up_.store(false);
+      node_.reset();
+      {
+        std::lock_guard<std::mutex> inner(mu_);
+        incarnation_ += 1;
+        cancelled_.clear();
+      }
+      done.set_value();
+    };
+    tasks_.push(std::move(t));
+  }
+  wake();
+  done.get_future().get();
+}
+
+bool UdpHost::call(const std::function<void()>& fn) {
+  ABCAST_CHECK(std::this_thread::get_id() != thread_.get_id());
+  std::promise<bool> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Task t;
+    t.due = now();
+    t.seq = next_seq_++;
+    t.fn = [this, &fn, &done] {
+      if (node_ == nullptr) {
+        done.set_value(false);
+        return;
+      }
+      fn();
+      done.set_value(true);
+    };
+    tasks_.push(std::move(t));
+  }
+  wake();
+  return done.get_future().get();
+}
+
+void UdpHost::drain_socket() {
+  std::uint8_t buf[kMaxDatagram];
+  for (;;) {
+    const auto n = ::recvfrom(fd_, buf, sizeof buf, 0, nullptr, nullptr);
+    if (n <= 0) return;  // EWOULDBLOCK or error: nothing more to read
+    if (node_ == nullptr) continue;  // down: arriving datagrams are lost
+    try {
+      BufReader r(buf, static_cast<std::size_t>(n));
+      const ProcessId from = r.u32();
+      const Wire wire = Wire::decode(r);
+      r.expect_done();
+      if (from >= config_.peers.size()) continue;
+      node_->on_message(from, wire);
+    } catch (const CodecError&) {
+      // Malformed datagram (stray traffic): drop, as UDP semantics allow.
+    }
+  }
+}
+
+void UdpHost::loop() {
+  for (;;) {
+    // Compute poll timeout from the earliest due task.
+    int timeout_ms = 1000;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      if (!tasks_.empty()) {
+        const auto wait = tasks_.top().due - now();
+        timeout_ms = wait <= 0 ? 0 : static_cast<int>(wait / 1'000'000 + 1);
+      }
+    }
+
+    pollfd fds[2];
+    fds[0] = {fd_, POLLIN, 0};
+    fds[1] = {wake_fds_[0], POLLIN, 0};
+    ::poll(fds, 2, timeout_ms);
+
+    if (fds[1].revents & POLLIN) {
+      std::uint8_t sink[64];
+      while (::read(wake_fds_[0], sink, sizeof sink) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) drain_socket();
+
+    // Run everything due.
+    for (;;) {
+      Task task;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return;
+        if (tasks_.empty() || tasks_.top().due > now()) break;
+        task = tasks_.top();
+        tasks_.pop();
+        if (task.incarnation != 0) {
+          if (task.incarnation != incarnation_) continue;
+          bool was_cancelled = false;
+          for (auto it = cancelled_.begin(); it != cancelled_.end(); ++it) {
+            if (*it == task.seq) {
+              cancelled_.erase(it);
+              was_cancelled = true;
+              break;
+            }
+          }
+          if (was_cancelled) continue;
+          if (node_ == nullptr) continue;
+        }
+      }
+      task.fn();
+    }
+  }
+}
+
+std::vector<std::unique_ptr<UdpHost>> make_local_udp_cluster(
+    std::uint32_t n, std::uint64_t seed) {
+  ABCAST_CHECK(n >= 1);
+  // Bind all sockets up front so every host knows the full peer table...
+  // except UdpHost binds in its constructor, so instead reserve ports by
+  // binding scratch sockets, reading them back, and releasing just before
+  // the real bind. To avoid the release/rebind race entirely, bind the
+  // real ports sequentially: host i is constructed with the ports of hosts
+  // 0..i-1 known and its own port 0 — but then earlier hosts would not
+  // know later ports. The robust approach: pick ports first by binding
+  // and KEEPING scratch sockets with SO_REUSEADDR... UDP rebind while the
+  // scratch socket is open fails. Simplest correct scheme: bind scratch
+  // sockets, record ports, close ALL, then construct hosts immediately.
+  // The window for another process to steal an ephemeral port is
+  // negligible for tests/demos; a production deployment uses fixed ports.
+  std::vector<std::uint16_t> ports(n, 0);
+  {
+    std::vector<int> scratch;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint16_t port = 0;
+      scratch.push_back(make_udp_socket("127.0.0.1", 0, &port));
+      ports[i] = port;
+    }
+    for (const int fd : scratch) ::close(fd);
+  }
+  std::vector<UdpPeer> peers;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    peers.push_back(UdpPeer{"127.0.0.1", ports[i]});
+  }
+  std::vector<std::unique_ptr<UdpHost>> hosts;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    UdpConfig cfg;
+    cfg.self = i;
+    cfg.peers = peers;
+    cfg.seed = seed;
+    hosts.push_back(std::make_unique<UdpHost>(cfg));
+  }
+  return hosts;
+}
+
+}  // namespace abcast::net

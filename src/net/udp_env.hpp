@@ -1,0 +1,139 @@
+// Real network transport: the Env interface over UDP sockets.
+//
+// The paper's transport (§3.1) is an unreliable, duplicating, non-FIFO
+// datagram service with fair-lossy channels — which is exactly what UDP
+// is. This host runs one process of the group over a real socket: every
+// protocol retransmission mechanism (gossip, consensus retries, decided
+// backoff, fill ticks) that the simulator exercised against injected loss
+// here covers genuine kernel-buffer drops and datagram loss.
+//
+// Structure mirrors the rt runtime: one event-loop thread per host,
+// poll()-driven with the timer queue's next deadline as the poll timeout.
+// Datagrams are framed as [u32 sender pid][Wire]; anything malformed or
+// from an unknown peer is dropped (CodecError can never propagate past the
+// loop — unreliable transport semantics).
+//
+// Limitations (documented, inherent to UDP): a datagram larger than the
+// ~64 KB UDP limit cannot be sent and is silently dropped, so deployments
+// with long histories should enable application checkpointing + trimmed
+// state transfer to keep state messages small.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "env/env.hpp"
+#include "storage/mem_storage.hpp"
+
+namespace abcast::net {
+
+/// A peer endpoint (IPv4). Index in the peer table = ProcessId.
+struct UdpPeer {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct UdpConfig {
+  ProcessId self = 0;
+  std::vector<UdpPeer> peers;
+  std::uint64_t seed = 1;
+  /// Stable storage for this host; defaults to MemStableStorage.
+  std::function<std::unique_ptr<StableStorage>()> storage_factory;
+};
+
+class UdpHost final : public Env {
+ public:
+  /// Binds a socket to peers[config.self] (port 0 = ephemeral; see
+  /// local_port()) and starts the event loop. Throws std::runtime_error on
+  /// socket errors.
+  explicit UdpHost(UdpConfig config);
+  ~UdpHost() override;
+
+  // Env (called from the event-loop thread only)
+  ProcessId self() const override { return config_.self; }
+  std::uint32_t group_size() const override {
+    return static_cast<std::uint32_t>(config_.peers.size());
+  }
+  TimePoint now() const override;
+  TimerId schedule_after(Duration delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+  void send(ProcessId to, const Wire& msg) override;
+  StableStorage& storage() override { return *storage_; }
+  Rng& rng() override { return rng_; }
+
+  // ---- lifecycle (external threads) --------------------------------------
+  /// Constructs the protocol stack via `factory` and starts it.
+  void start_node(const NodeFactory& factory, bool recovering);
+  /// Crash: destroys the stack (volatile state dies); the socket stays
+  /// open but arriving datagrams are dropped, like the paper's model.
+  void crash_node();
+
+  /// Runs `fn` on the event-loop thread and waits; false if down.
+  bool call(const std::function<void()>& fn);
+
+  bool is_up() const { return up_.load(); }
+  /// The actually bound port (useful when configured with port 0).
+  std::uint16_t local_port() const { return local_port_; }
+  NodeApp* node_unsafe() { return node_.get(); }
+
+  /// Datagrams that failed to send (e.g. oversized) — observability for
+  /// the UDP size limitation.
+  std::uint64_t send_failures() const { return send_failures_.load(); }
+
+  void shutdown();
+
+ private:
+  struct Task {
+    TimePoint due = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t incarnation = 0;  // 0 = not incarnation-bound
+    std::function<void()> fn;
+
+    bool operator>(const Task& o) const {
+      return std::tie(due, seq) > std::tie(o.due, o.seq);
+    }
+  };
+
+  void loop();
+  void drain_socket();
+  void wake();
+
+  UdpConfig config_;
+  Rng rng_;
+  std::unique_ptr<StableStorage> storage_;
+  int fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe to interrupt poll()
+  std::uint16_t local_port_ = 0;
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> peer_addrs_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex mu_;
+  std::priority_queue<Task, std::vector<Task>, std::greater<>> tasks_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t incarnation_ = 1;
+  std::vector<std::uint64_t> cancelled_;
+  bool stop_ = false;
+
+  std::atomic<bool> up_{false};
+  std::atomic<std::uint64_t> send_failures_{0};
+  std::unique_ptr<NodeApp> node_;  // event-loop thread only
+  std::thread thread_;
+};
+
+/// Convenience for tests and demos: builds n hosts on ephemeral localhost
+/// ports and wires their peer tables together.
+std::vector<std::unique_ptr<UdpHost>> make_local_udp_cluster(
+    std::uint32_t n, std::uint64_t seed = 1);
+
+}  // namespace abcast::net

@@ -1,0 +1,74 @@
+#include "sim/fault_plan.hpp"
+
+#include "common/check.hpp"
+
+namespace abcast::sim {
+
+void install_fault_script(Simulation& sim,
+                          const std::vector<FaultEvent>& plan) {
+  for (const auto& ev : plan) {
+    ABCAST_CHECK(ev.process < sim.n());
+    switch (ev.kind) {
+      case FaultKind::kCrash:
+        sim.crash_at(ev.at, ev.process);
+        break;
+      case FaultKind::kRecover:
+        sim.recover_at(ev.at, ev.process);
+        break;
+    }
+  }
+}
+
+ChurnInjector::ChurnInjector(Simulation& sim, ChurnConfig config) {
+  if (config.victims.empty()) {
+    for (ProcessId p = 0; p < sim.n(); ++p) config.victims.push_back(p);
+  }
+  if (config.max_down == 0) {
+    // Strict minority: with n processes, keep at least floor(n/2)+1 up.
+    config.max_down = (sim.n() - 1) / 2;
+  }
+  state_ = std::make_shared<State>();
+  state_->sim = &sim;
+  state_->config = std::move(config);
+  for (const ProcessId p : state_->config.victims) {
+    ABCAST_CHECK(p < sim.n());
+    arm_crash(state_, p);
+  }
+}
+
+void ChurnInjector::arm_crash(const std::shared_ptr<State>& state,
+                              ProcessId p) {
+  Simulation& sim = *state->sim;
+  const Duration wait = sim.rng().exponential(state->config.mtbf);
+  TimePoint when = sim.now() + wait;
+  if (when < state->config.start) when = state->config.start + wait;
+  if (when >= state->config.stop) return;  // churn window over
+  sim.at(when, [state, p] {
+    Simulation& s = *state->sim;
+    if (s.host(p).is_up() && state->down_now < state->config.max_down) {
+      s.crash(p);
+      state->down_now += 1;
+      state->crashes += 1;
+      arm_recover(state, p);
+    } else {
+      // Could not crash now (already down, or quorum guard); retry later.
+      arm_crash(state, p);
+    }
+  });
+}
+
+void ChurnInjector::arm_recover(const std::shared_ptr<State>& state,
+                                ProcessId p) {
+  Simulation& sim = *state->sim;
+  const Duration wait = sim.rng().exponential(state->config.mttr);
+  sim.after(wait, [state, p] {
+    Simulation& s = *state->sim;
+    if (!s.host(p).is_up()) {
+      s.recover(p);
+      state->down_now -= 1;
+    }
+    arm_crash(state, p);
+  });
+}
+
+}  // namespace abcast::sim

@@ -1,0 +1,69 @@
+// Crash/recovery fault injection.
+//
+// Two flavours: scripted plans (exact times, for targeted tests) and random
+// churn (exponential MTBF/MTTR, for property sweeps and the fault-rate
+// experiments). The random injector can be told to always keep a quorum of
+// processes up, which is the liveness precondition of the underlying
+// Consensus ("majority of good processes").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace abcast::sim {
+
+enum class FaultKind { kCrash, kRecover };
+
+struct FaultEvent {
+  TimePoint at = 0;
+  ProcessId process = 0;
+  FaultKind kind = FaultKind::kCrash;
+};
+
+/// Installs a scripted list of crash/recover events. Events targeting a
+/// process already in the requested state are ignored.
+void install_fault_script(Simulation& sim, const std::vector<FaultEvent>& plan);
+
+struct ChurnConfig {
+  /// Mean time between failures of one process (exponential).
+  Duration mtbf = seconds(5);
+  /// Mean time to recover after a crash (exponential).
+  Duration mttr = millis(500);
+  /// Churn is active in [start, stop).
+  TimePoint start = 0;
+  TimePoint stop = std::numeric_limits<TimePoint>::max();
+  /// At most this many processes down at once; 0 means "strict minority"
+  /// (i.e., preserve a majority up — the Consensus liveness condition).
+  std::uint32_t max_down = 0;
+  /// Processes subject to churn; empty means all.
+  std::vector<ProcessId> victims;
+};
+
+/// Installs random crash/recovery churn driven by the simulation's RNG.
+/// Returned handle keeps the injector alive; destroy after the run.
+class ChurnInjector {
+ public:
+  ChurnInjector(Simulation& sim, ChurnConfig config);
+
+  std::uint64_t crashes_injected() const { return state_->crashes; }
+
+ private:
+  struct State {
+    Simulation* sim;
+    ChurnConfig config;
+    std::uint32_t down_now = 0;
+    std::uint64_t crashes = 0;
+  };
+
+  static void arm_crash(const std::shared_ptr<State>& state, ProcessId p);
+  static void arm_recover(const std::shared_ptr<State>& state, ProcessId p);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace abcast::sim

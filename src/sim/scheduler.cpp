@@ -1,0 +1,43 @@
+#include "sim/scheduler.hpp"
+
+#include "common/check.hpp"
+
+namespace abcast::sim {
+
+Scheduler::Token Scheduler::schedule_at(TimePoint t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const Token token = next_token_++;
+  events_.emplace(Key{t, token}, std::move(fn));
+  token_time_.emplace(token, t);
+  return token;
+}
+
+void Scheduler::cancel(Token token) {
+  auto it = token_time_.find(token);
+  if (it == token_time_.end()) return;
+  events_.erase(Key{it->second, token});
+  token_time_.erase(it);
+}
+
+void Scheduler::advance_to(TimePoint t) {
+  if (t <= now_) return;
+  ABCAST_CHECK_MSG(events_.empty() || events_.begin()->first.first >= t,
+                   "cannot advance past a pending event");
+  now_ = t;
+}
+
+bool Scheduler::step() {
+  if (events_.empty()) return false;
+  auto it = events_.begin();
+  const auto [t, token] = it->first;
+  ABCAST_CHECK(t >= now_);
+  now_ = t;
+  auto fn = std::move(it->second);
+  events_.erase(it);
+  token_time_.erase(token);
+  fired_ += 1;
+  fn();
+  return true;
+}
+
+}  // namespace abcast::sim

@@ -1,0 +1,207 @@
+#include "sim/simulation.hpp"
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+
+namespace abcast::sim {
+
+// ---------------------------------------------------------------- SimHost
+
+SimHost::SimHost(Simulation& sim, ProcessId id)
+    : sim_(sim), id_(id), rng_(sim.rng().fork()),
+      storage_(sim.config().storage_factory
+                   ? sim.config().storage_factory(id)
+                   : std::make_unique<MemStableStorage>()) {}
+
+std::uint32_t SimHost::group_size() const { return sim_.n(); }
+
+TimePoint SimHost::now() const { return sim_.scheduler_.now(); }
+
+TimerId SimHost::schedule_after(Duration delay, std::function<void()> fn) {
+  ABCAST_CHECK_MSG(node_ != nullptr, "down process cannot schedule timers");
+  // Wrap so the token is forgotten once fired, and the callback is skipped
+  // if the host crashed (crash cancels, but belt-and-braces for reentrancy:
+  // a crash executed from within this very callback chain).
+  const auto token_holder = std::make_shared<Scheduler::Token>(0);
+  auto token = sim_.scheduler_.schedule_after(
+      delay, [this, fn = std::move(fn), token_holder]() {
+        live_timers_.erase(*token_holder);
+        if (node_ == nullptr) return;  // crashed between firing and running
+        fn();
+      });
+  *token_holder = token;
+  live_timers_.insert(token);
+  return token;
+}
+
+void SimHost::cancel_timer(TimerId id) {
+  live_timers_.erase(id);
+  sim_.scheduler_.cancel(id);
+}
+
+void SimHost::send(ProcessId to, const Wire& msg) {
+  ABCAST_CHECK_MSG(node_ != nullptr, "down process cannot send");
+  ABCAST_CHECK_MSG(to < sim_.n(), "send target out of range");
+  sim_.transmit(id_, to, msg);
+}
+
+void SimHost::start(const NodeFactory& factory, bool recovering) {
+  ABCAST_CHECK_MSG(node_ == nullptr, "process already up");
+  node_ = factory(*this);
+  ABCAST_CHECK(node_ != nullptr);
+  if (recovering) stats_.recoveries += 1;
+  node_->start(recovering);
+}
+
+void SimHost::crash() {
+  ABCAST_CHECK_MSG(node_ != nullptr, "process already down");
+  // Destroying the stack loses all volatile state; cancelling the timers
+  // models the death of all pending local activity.
+  node_.reset();
+  for (const auto token : live_timers_) sim_.scheduler_.cancel(token);
+  live_timers_.clear();
+  stats_.crashes += 1;
+}
+
+void SimHost::deliver(ProcessId from, const Wire& msg) {
+  if (node_ == nullptr) return;  // lost: arrived while down (paper §2.1)
+  node_->on_message(from, msg);
+}
+
+// ------------------------------------------------------------- Simulation
+
+Simulation::Simulation(SimConfig config)
+    : config_(config), rng_(config.seed) {
+  ABCAST_CHECK(config_.n >= 1);
+  ABCAST_CHECK(config_.net.delay_min >= 0);
+  ABCAST_CHECK(config_.net.delay_max >= config_.net.delay_min);
+  hosts_.reserve(config_.n);
+  for (ProcessId p = 0; p < config_.n; ++p) {
+    hosts_.push_back(std::make_unique<SimHost>(*this, p));
+  }
+}
+
+Simulation::~Simulation() = default;
+
+SimHost& Simulation::host(ProcessId p) {
+  ABCAST_CHECK(p < hosts_.size());
+  return *hosts_[p];
+}
+
+NodeApp* Simulation::node(ProcessId p) { return host(p).node_.get(); }
+
+void Simulation::start_all() {
+  for (ProcessId p = 0; p < config_.n; ++p) start(p);
+}
+
+void Simulation::start(ProcessId p) {
+  ABCAST_CHECK_MSG(static_cast<bool>(factory_), "node factory not set");
+  host(p).start(factory_, /*recovering=*/false);
+}
+
+void Simulation::crash(ProcessId p) { host(p).crash(); }
+
+void Simulation::recover(ProcessId p) {
+  ABCAST_CHECK_MSG(static_cast<bool>(factory_), "node factory not set");
+  host(p).start(factory_, /*recovering=*/true);
+}
+
+void Simulation::crash_at(TimePoint t, ProcessId p) {
+  at(t, [this, p] {
+    if (host(p).is_up()) crash(p);
+  });
+}
+
+void Simulation::recover_at(TimePoint t, ProcessId p) {
+  at(t, [this, p] {
+    if (!host(p).is_up()) recover(p);
+  });
+}
+
+void Simulation::block_link(ProcessId a, ProcessId b) {
+  blocked_links_.insert({a, b});
+}
+
+void Simulation::unblock_link(ProcessId a, ProcessId b) {
+  blocked_links_.erase({a, b});
+}
+
+void Simulation::partition(const std::vector<ProcessId>& members) {
+  const std::set<ProcessId> side(members.begin(), members.end());
+  for (ProcessId a = 0; a < config_.n; ++a) {
+    for (ProcessId b = 0; b < config_.n; ++b) {
+      if (a == b) continue;
+      if (side.count(a) != side.count(b)) {
+        blocked_links_.insert({a, b});
+      }
+    }
+  }
+}
+
+void Simulation::heal_partition() { blocked_links_.clear(); }
+
+void Simulation::transmit(ProcessId from, ProcessId to, const Wire& msg) {
+  net_stats_.sent += 1;
+  const std::uint64_t bytes = msg.payload.size() + sizeof(std::uint16_t);
+  net_stats_.bytes_sent += bytes;
+  net_stats_.sent_by_type[msg.type] += 1;
+  net_stats_.bytes_by_type[msg.type] += bytes;
+
+  if (from != to && blocked_links_.count({from, to}) != 0) {
+    net_stats_.dropped_partition += 1;
+    return;
+  }
+
+  const NetConfig& net = config_.net;
+  auto schedule_copy = [this, from, to, &msg](Duration delay) {
+    // The Wire is copied into the event: channels may hold messages long
+    // after the sender's stack is gone.
+    scheduler_.schedule_after(delay, [this, from, to, copy = msg]() {
+      if (!hosts_[to]->is_up()) {
+        net_stats_.dropped_down += 1;
+        return;
+      }
+      net_stats_.delivered += 1;
+      hosts_[to]->deliver(from, copy);
+    });
+  };
+
+  if (from == to) {
+    // Local delivery never traverses the lossy channel.
+    schedule_copy(net.self_delay);
+    return;
+  }
+
+  if (rng_.chance(net.drop_prob)) {
+    net_stats_.dropped_channel += 1;
+    return;
+  }
+  schedule_copy(rng_.uniform(net.delay_min, net.delay_max));
+  if (rng_.chance(net.dup_prob)) {
+    net_stats_.duplicated += 1;
+    schedule_copy(rng_.uniform(net.delay_min, net.delay_max));
+  }
+}
+
+void Simulation::run_until(TimePoint t) {
+  while (auto next = scheduler_.next_time()) {
+    if (*next > t) break;
+    scheduler_.step();
+  }
+  // Idle gap: the clock still reaches t, so run_for() makes progress even
+  // when nothing is scheduled.
+  scheduler_.advance_to(t);
+}
+
+bool Simulation::run_until_pred(const std::function<bool()>& pred,
+                                TimePoint deadline) {
+  if (pred()) return true;
+  while (auto next = scheduler_.next_time()) {
+    if (*next > deadline) break;
+    scheduler_.step();
+    if (pred()) return true;
+  }
+  return false;
+}
+
+}  // namespace abcast::sim

@@ -1,0 +1,200 @@
+// Deterministic simulation of an asynchronous crash-recovery system.
+//
+// Models exactly the system of Section 2 of the paper:
+//   * processes that are up or down; a crash loses volatile memory (the
+//     protocol object is destroyed) and every message that arrives while the
+//     process is down is lost;
+//   * stable storage that survives crashes;
+//   * fair-lossy, duplicating, non-FIFO channels with arbitrary finite
+//     delays between every pair of processes.
+//
+// The run is fully deterministic given (seed, configuration, fault plan).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "env/env.hpp"
+#include "sim/scheduler.hpp"
+#include "storage/mem_storage.hpp"
+
+namespace abcast::sim {
+
+/// Channel behaviour. The defaults give a lossy but lively network.
+struct NetConfig {
+  Duration delay_min = millis(1);
+  Duration delay_max = millis(10);
+  /// Probability an individual datagram is silently dropped.
+  double drop_prob = 0.0;
+  /// Probability an individual datagram is delivered twice.
+  double dup_prob = 0.0;
+  /// Local (self) delivery latency; self sends are never dropped.
+  Duration self_delay = micros(10);
+};
+
+struct SimConfig {
+  std::uint32_t n = 3;
+  std::uint64_t seed = 1;
+  NetConfig net;
+  /// Per-process stable storage; defaults to MemStableStorage. Supply
+  /// DiscardStorage for crash-stop baselines or FileStableStorage for
+  /// durability integration tests.
+  std::function<std::unique_ptr<StableStorage>(ProcessId)> storage_factory;
+};
+
+/// Aggregate network counters for bandwidth-style experiments.
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_channel = 0;   // lost by the lossy channel
+  std::uint64_t dropped_down = 0;      // receiver was down on arrival
+  std::uint64_t dropped_partition = 0; // link administratively blocked
+  std::uint64_t duplicated = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Sends and bytes per message type — attributes traffic to protocol
+  /// layers (heartbeats vs consensus vs gossip vs state transfer ...).
+  std::map<MsgType, std::uint64_t> sent_by_type;
+  std::map<MsgType, std::uint64_t> bytes_by_type;
+
+  std::uint64_t sent_of(MsgType t) const {
+    auto it = sent_by_type.find(t);
+    return it == sent_by_type.end() ? 0 : it->second;
+  }
+};
+
+/// Per-process lifecycle counters.
+struct HostStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+};
+
+class Simulation;
+
+/// The Env a simulated process hands to its protocol stack.
+class SimHost final : public Env {
+ public:
+  SimHost(Simulation& sim, ProcessId id);
+
+  // Env
+  ProcessId self() const override { return id_; }
+  std::uint32_t group_size() const override;
+  TimePoint now() const override;
+  TimerId schedule_after(Duration delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+  void send(ProcessId to, const Wire& msg) override;
+  StableStorage& storage() override { return *storage_; }
+  Rng& rng() override { return rng_; }
+
+  bool is_up() const { return node_ != nullptr; }
+  const HostStats& stats() const { return stats_; }
+
+ private:
+  friend class Simulation;
+
+  void start(const NodeFactory& factory, bool recovering);
+  void crash();
+  void deliver(ProcessId from, const Wire& msg);
+
+  Simulation& sim_;
+  ProcessId id_;
+  Rng rng_;
+  std::unique_ptr<StableStorage> storage_;
+  std::unique_ptr<NodeApp> node_;
+  std::set<Scheduler::Token> live_timers_;
+  HostStats stats_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig config);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Installs the protocol-stack factory used at every start and recovery.
+  void set_node_factory(NodeFactory factory) { factory_ = std::move(factory); }
+
+  /// Starts all processes at time 0 (recovering = false).
+  void start_all();
+
+  /// Starts one process (initial start).
+  void start(ProcessId p);
+
+  // ---- fault injection -------------------------------------------------
+  /// Crashes `p` now: its protocol object is destroyed, its timers are
+  /// cancelled, and datagrams arriving while it is down are lost.
+  void crash(ProcessId p);
+
+  /// Recovers `p` now: a fresh protocol stack is built over the surviving
+  /// stable storage and started with recovering = true.
+  void recover(ProcessId p);
+
+  void crash_at(TimePoint t, ProcessId p);
+  void recover_at(TimePoint t, ProcessId p);
+
+  /// Administratively blocks/unblocks the directed link from `a` to `b`.
+  void block_link(ProcessId a, ProcessId b);
+  void unblock_link(ProcessId a, ProcessId b);
+
+  /// Partitions the group into {members} vs the rest (both directions
+  /// blocked across the cut); heal_partition removes all blocks.
+  void partition(const std::vector<ProcessId>& members);
+  void heal_partition();
+
+  // ---- execution -------------------------------------------------------
+  /// Runs until virtual time `t` (events at exactly `t` included).
+  void run_until(TimePoint t);
+  void run_for(Duration d) { run_until(now() + d); }
+
+  /// Runs until `pred()` holds (checked after every event) or `deadline`
+  /// passes. Returns true if the predicate held.
+  bool run_until_pred(const std::function<bool()>& pred, TimePoint deadline);
+
+  /// Fires a single event; returns false when no events remain.
+  bool step() { return scheduler_.step(); }
+
+  /// Schedules an arbitrary callback (test hooks, workload generators).
+  Scheduler::Token at(TimePoint t, std::function<void()> fn) {
+    return scheduler_.schedule_at(t, std::move(fn));
+  }
+  Scheduler::Token after(Duration d, std::function<void()> fn) {
+    return scheduler_.schedule_after(d, std::move(fn));
+  }
+
+  // ---- introspection ----------------------------------------------------
+  TimePoint now() const { return scheduler_.now(); }
+  std::uint32_t n() const { return config_.n; }
+  const SimConfig& config() const { return config_; }
+  SimHost& host(ProcessId p);
+  const NetStats& net_stats() const { return net_stats_; }
+  Rng& rng() { return rng_; }
+  std::uint64_t events_fired() const { return scheduler_.fired(); }
+
+  /// Protocol stack of `p`, or nullptr while down. Cast to the concrete
+  /// stack type to inspect state in tests.
+  NodeApp* node(ProcessId p);
+
+ private:
+  friend class SimHost;
+
+  void transmit(ProcessId from, ProcessId to, const Wire& msg);
+
+  SimConfig config_;
+  Rng rng_;
+  Scheduler scheduler_;
+  NodeFactory factory_;
+  std::vector<std::unique_ptr<SimHost>> hosts_;
+  std::set<std::pair<ProcessId, ProcessId>> blocked_links_;
+  NetStats net_stats_;
+};
+
+}  // namespace abcast::sim

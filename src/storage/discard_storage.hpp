@@ -1,0 +1,38 @@
+// Stable storage that stores nothing.
+//
+// Models the crash-stop (no-recovery) world of Chandra-Toueg: a process
+// that never recovers never reads its log, so writes can be discarded. The
+// operation counters still run, letting experiments report how many log
+// operations a protocol *requested* even when durability is off.
+#pragma once
+
+#include "env/stable_storage.hpp"
+
+namespace abcast {
+
+class DiscardStorage final : public StableStorage {
+ public:
+  void put(std::string_view key, const Bytes& value) override {
+    stats_.put_ops += 1;
+    stats_.bytes_written += key.size() + value.size();
+  }
+  std::optional<Bytes> get(std::string_view key) override {
+    (void)key;
+    stats_.get_ops += 1;
+    return std::nullopt;
+  }
+  void erase(std::string_view key) override {
+    (void)key;
+    stats_.erase_ops += 1;
+  }
+  std::vector<std::string> keys_with_prefix(std::string_view) override {
+    return {};
+  }
+  std::uint64_t footprint_bytes() override { return 0; }
+  const StorageStats& stats() const override { return stats_; }
+
+ private:
+  StorageStats stats_;
+};
+
+}  // namespace abcast

@@ -1,0 +1,234 @@
+#include "storage/file_storage.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <system_error>
+
+#include "common/codec.hpp"
+#include "common/crc32.hpp"
+
+namespace abcast {
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x41424331;  // "ABC1"
+constexpr const char* kTmpSuffix = ".tmp";
+
+bool is_unreserved(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void fsync_fd(int fd, const fs::path& what) {
+  if (::fsync(fd) != 0) {
+    throw StorageIoError("fsync failed for " + what.string());
+  }
+}
+
+void fsync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw StorageIoError("open dir failed: " + dir.string());
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) throw StorageIoError("fsync dir failed: " + dir.string());
+}
+
+}  // namespace
+
+FileStableStorage::FileStableStorage(const fs::path& dir, bool fsync_writes)
+    : root_(dir), fsync_writes_(fsync_writes) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec) throw StorageIoError("cannot create " + root_.string());
+  // Remove temporaries left by a crash mid-put; the rename never happened,
+  // so the old record (if any) is still the authoritative one.
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (entry.path().extension() == kTmpSuffix) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+// Keys may contain '/' and other path-hostile characters; store each record
+// as a flat file whose name percent-encodes anything unreserved.
+std::string FileStableStorage::escape_key(std::string_view key) {
+  std::string out;
+  out.reserve(key.size());
+  for (const char c : key) {
+    if (is_unreserved(c)) {
+      out.push_back(c);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> FileStableStorage::unescape_key(
+    const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    if (name[i] == '%') {
+      if (i + 2 >= name.size()) return std::nullopt;
+      const int hi = hex_val(name[i + 1]);
+      const int lo = hex_val(name[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else if (is_unreserved(name[i])) {
+      out.push_back(name[i]);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+fs::path FileStableStorage::path_for(std::string_view key) const {
+  return root_ / escape_key(key);
+}
+
+void FileStableStorage::put(std::string_view key, const Bytes& value) {
+  // Record layout: magic, key (for self-description), payload, CRC of
+  // everything before the CRC field.
+  BufWriter w;
+  w.u32(kMagic);
+  w.str(key);
+  w.bytes(value);
+  Bytes record = std::move(w).take();
+  const std::uint32_t crc = crc32(record);
+  BufWriter tail;
+  tail.u32(crc);
+  const Bytes& tail_bytes = tail.data();
+  record.insert(record.end(), tail_bytes.begin(), tail_bytes.end());
+
+  const fs::path final_path = path_for(key);
+  const fs::path tmp_path =
+      root_ / (escape_key(key) + "." + std::to_string(next_tmp_++) + kTmpSuffix);
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw StorageIoError("cannot create " + tmp_path.string());
+  std::size_t off = 0;
+  while (off < record.size()) {
+    const ssize_t n = ::write(fd, record.data() + off, record.size() - off);
+    if (n <= 0) {
+      ::close(fd);
+      throw StorageIoError("write failed for " + tmp_path.string());
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (fsync_writes_) fsync_fd(fd, tmp_path);
+  ::close(fd);
+
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) throw StorageIoError("rename failed for " + final_path.string());
+  if (fsync_writes_) fsync_dir(root_);
+
+  stats_.put_ops += 1;
+  stats_.bytes_written += key.size() + value.size();
+}
+
+std::optional<Bytes> FileStableStorage::get(std::string_view key) {
+  stats_.get_ops += 1;
+  const fs::path path = path_for(key);
+
+  std::error_code ec;
+  const auto size = fs::file_size(path, ec);
+  if (ec) return std::nullopt;  // absent
+
+  Bytes raw(size);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return std::nullopt;
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    const ssize_t n = ::read(fd, raw.data() + off, raw.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+
+  if (off != raw.size() || raw.size() < 8) {
+    corrupt_records_ += 1;
+    return std::nullopt;
+  }
+
+  // Verify trailing CRC over the body.
+  const std::size_t body_len = raw.size() - 4;
+  BufReader crc_r(raw.data() + body_len, 4);
+  const std::uint32_t stored_crc = crc_r.u32();
+  if (crc32(raw.data(), body_len) != stored_crc) {
+    corrupt_records_ += 1;
+    return std::nullopt;
+  }
+
+  try {
+    BufReader r(raw.data(), body_len);
+    if (r.u32() != kMagic) {
+      corrupt_records_ += 1;
+      return std::nullopt;
+    }
+    const std::string stored_key = r.str();
+    if (stored_key != key) {
+      corrupt_records_ += 1;
+      return std::nullopt;
+    }
+    Bytes value = r.bytes();
+    r.expect_done();
+    return value;
+  } catch (const CodecError&) {
+    corrupt_records_ += 1;
+    return std::nullopt;
+  }
+}
+
+void FileStableStorage::erase(std::string_view key) {
+  stats_.erase_ops += 1;
+  std::error_code ec;
+  fs::remove(path_for(key), ec);
+  if (fsync_writes_) fsync_dir(root_);
+}
+
+std::vector<std::string> FileStableStorage::keys_with_prefix(
+    std::string_view prefix) {
+  std::vector<std::string> out;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == kTmpSuffix) continue;
+    auto key = unescape_key(entry.path().filename().string());
+    if (!key) continue;
+    if (key->compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(std::move(*key));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t FileStableStorage::footprint_bytes() {
+  std::uint64_t total = 0;
+  for (const auto& entry : fs::directory_iterator(root_)) {
+    if (!entry.is_regular_file()) continue;
+    std::error_code ec;
+    const auto sz = entry.file_size(ec);
+    if (!ec) total += sz;
+  }
+  return total;
+}
+
+}  // namespace abcast

@@ -1,0 +1,57 @@
+// File-backed stable storage for real deployments and the rt runtime.
+//
+// One file per record under a root directory. Writes are crash-atomic:
+// the record is written to a temporary file, fsync'd, then renamed over the
+// final path. Each file carries a small header with a magic, the payload
+// length, and a CRC-32; a torn or corrupted record is detected on read and
+// treated as absent (reported via corrupt_records()).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "env/stable_storage.hpp"
+
+namespace abcast {
+
+/// Thrown on unrecoverable I/O errors (directory not writable, rename
+/// failure). Corrupted *records* are not errors — they read as absent.
+class StorageIoError : public std::runtime_error {
+ public:
+  explicit StorageIoError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class FileStableStorage final : public StableStorage {
+ public:
+  /// Opens (creating if needed) the storage rooted at `dir`. Leftover
+  /// temporary files from an interrupted write are removed.
+  explicit FileStableStorage(const std::filesystem::path& dir,
+                             bool fsync_writes = true);
+
+  void put(std::string_view key, const Bytes& value) override;
+  std::optional<Bytes> get(std::string_view key) override;
+  void erase(std::string_view key) override;
+  std::vector<std::string> keys_with_prefix(std::string_view prefix) override;
+  std::uint64_t footprint_bytes() override;
+  const StorageStats& stats() const override { return stats_; }
+
+  /// Number of records found corrupted (bad magic/length/CRC) by get().
+  std::uint64_t corrupt_records() const { return corrupt_records_; }
+
+  const std::filesystem::path& root() const { return root_; }
+
+ private:
+  std::filesystem::path path_for(std::string_view key) const;
+  static std::string escape_key(std::string_view key);
+  static std::optional<std::string> unescape_key(const std::string& name);
+
+  std::filesystem::path root_;
+  bool fsync_writes_;
+  StorageStats stats_;
+  std::uint64_t corrupt_records_ = 0;
+  std::uint64_t next_tmp_ = 0;
+};
+
+}  // namespace abcast

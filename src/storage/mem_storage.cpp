@@ -1,0 +1,65 @@
+#include "storage/mem_storage.hpp"
+
+namespace abcast {
+
+StorageStats& MemStableStorage::scope_entry(std::string_view key) {
+  const auto slash = key.find('/');
+  const std::string_view scope =
+      slash == std::string_view::npos ? key : key.substr(0, slash);
+  auto it = by_scope_.find(scope);
+  if (it == by_scope_.end()) {
+    it = by_scope_.emplace(std::string(scope), StorageStats{}).first;
+  }
+  return it->second;
+}
+
+StorageStats MemStableStorage::scope_stats(std::string_view scope) const {
+  auto it = by_scope_.find(scope);
+  return it == by_scope_.end() ? StorageStats{} : it->second;
+}
+
+void MemStableStorage::put(std::string_view key, const Bytes& value) {
+  stats_.put_ops += 1;
+  stats_.bytes_written += key.size() + value.size();
+  auto& scope = scope_entry(key);
+  scope.put_ops += 1;
+  scope.bytes_written += key.size() + value.size();
+  records_.insert_or_assign(std::string(key), value);
+}
+
+std::optional<Bytes> MemStableStorage::get(std::string_view key) {
+  stats_.get_ops += 1;
+  auto it = records_.find(key);
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemStableStorage::erase(std::string_view key) {
+  stats_.erase_ops += 1;
+  auto it = records_.find(key);
+  if (it != records_.end()) records_.erase(it);
+}
+
+std::vector<std::string> MemStableStorage::keys_with_prefix(
+    std::string_view prefix) {
+  std::vector<std::string> out;
+  for (auto it = records_.lower_bound(prefix); it != records_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::uint64_t MemStableStorage::footprint_bytes() {
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : records_) total += k.size() + v.size();
+  return total;
+}
+
+void MemStableStorage::reset() {
+  records_.clear();
+  stats_ = StorageStats{};
+  by_scope_.clear();
+}
+
+}  // namespace abcast

@@ -1,0 +1,48 @@
+// In-memory stable storage for the simulator.
+//
+// "Stable" here means: the object is owned by the simulated *host*, not by
+// the protocol stack, so it survives simulated crashes (which destroy the
+// stack). It is lost only when the whole simulation ends — matching the
+// paper's model where stable storage is unaffected by crashes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "env/stable_storage.hpp"
+
+namespace abcast {
+
+class MemStableStorage final : public StableStorage {
+ public:
+  MemStableStorage() = default;
+
+  void put(std::string_view key, const Bytes& value) override;
+  std::optional<Bytes> get(std::string_view key) override;
+  void erase(std::string_view key) override;
+  std::vector<std::string> keys_with_prefix(std::string_view prefix) override;
+  std::uint64_t footprint_bytes() override;
+  const StorageStats& stats() const override { return stats_; }
+
+  /// Wipes all records and counters. Models provisioning a fresh node; never
+  /// called across a simulated crash.
+  void reset();
+
+  /// Cumulative per-scope statistics, where a key's scope is everything
+  /// before its first '/' ("cons", "ab", "fd"). Unlike the ScopedStorage
+  /// counters these survive simulated crashes, so experiments can attribute
+  /// every log operation of a whole run to a protocol layer.
+  const std::map<std::string, StorageStats, std::less<>>& by_scope() const {
+    return by_scope_;
+  }
+  StorageStats scope_stats(std::string_view scope) const;
+
+ private:
+  StorageStats& scope_entry(std::string_view key);
+
+  std::map<std::string, Bytes, std::less<>> records_;
+  StorageStats stats_;
+  std::map<std::string, StorageStats, std::less<>> by_scope_;
+};
+
+}  // namespace abcast

@@ -1,0 +1,270 @@
+// Unit tests for the common kernel: codec, crc32, ids, rng, logging, check.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/codec.hpp"
+#include "common/crc32.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+using namespace abcast;
+
+// ---------------------------------------------------------------- codec
+
+TEST(Codec, PrimitiveRoundTrip) {
+  BufWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.boolean(true);
+  w.boolean(false);
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, BytesAndStringRoundTrip) {
+  BufWriter w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello/world");
+  w.bytes(Bytes{});  // empty blob
+  w.str("");
+
+  BufReader r(w.data());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello/world");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.str().empty());
+  r.expect_done();
+}
+
+TEST(Codec, MsgIdRoundTrip) {
+  BufWriter w;
+  w.msg_id(MsgId{7, 0xFFFFFFFF00000001ull});
+  BufReader r(w.data());
+  const MsgId id = r.msg_id();
+  EXPECT_EQ(id.sender, 7u);
+  EXPECT_EQ(id.seq, 0xFFFFFFFF00000001ull);
+}
+
+TEST(Codec, VectorRoundTrip) {
+  BufWriter w;
+  std::vector<std::uint64_t> v{1, 5, 9};
+  w.vec(v, [](BufWriter& ww, std::uint64_t x) { ww.u64(x); });
+  BufReader r(w.data());
+  auto out = r.vec<std::uint64_t>([](BufReader& rr) { return rr.u64(); });
+  EXPECT_EQ(out, v);
+}
+
+TEST(Codec, MapRoundTrip) {
+  BufWriter w;
+  std::map<std::string, std::uint32_t> m{{"a", 1}, {"b", 2}};
+  w.map(m, [](BufWriter& ww, const std::string& k, std::uint32_t v) {
+    ww.str(k);
+    ww.u32(v);
+  });
+  BufReader r(w.data());
+  auto out = r.map<std::string, std::uint32_t>([](BufReader& rr) {
+    auto k = rr.str();
+    auto v = rr.u32();
+    return std::pair{k, v};
+  });
+  EXPECT_EQ(out, m);
+}
+
+TEST(Codec, TruncatedReadThrows) {
+  BufWriter w;
+  w.u64(1);
+  Bytes b = w.data();
+  b.pop_back();
+  BufReader r(b);
+  EXPECT_THROW(r.u64(), CodecError);
+}
+
+TEST(Codec, BlobLengthBeyondBufferThrows) {
+  BufWriter w;
+  w.u32(1000);  // claims 1000 bytes follow; nothing does
+  BufReader r(w.data());
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(Codec, VectorCountBeyondBufferThrows) {
+  BufWriter w;
+  w.u32(0xFFFFFFFF);
+  BufReader r(w.data());
+  EXPECT_THROW(r.vec<std::uint8_t>([](BufReader& rr) { return rr.u8(); }),
+               CodecError);
+}
+
+TEST(Codec, MalformedBoolThrows) {
+  BufWriter w;
+  w.u8(2);
+  BufReader r(w.data());
+  EXPECT_THROW(r.boolean(), CodecError);
+}
+
+TEST(Codec, TrailingBytesDetected) {
+  BufWriter w;
+  w.u8(1);
+  w.u8(2);
+  BufReader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), CodecError);
+}
+
+TEST(Codec, RemainingTracksPosition) {
+  BufWriter w;
+  w.u32(1);
+  w.u32(2);
+  BufReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.u32();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+// ---------------------------------------------------------------- crc32
+
+TEST(Crc32, KnownVectors) {
+  // Standard test vector: CRC32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()),
+            0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data(64, 0x5A);
+  const auto before = crc32(data);
+  data[17] ^= 0x01;
+  EXPECT_NE(crc32(data), before);
+}
+
+// ---------------------------------------------------------------- MsgId
+
+TEST(MsgId, OrderingIsSenderThenSeq) {
+  EXPECT_LT((MsgId{0, 5}), (MsgId{1, 1}));
+  EXPECT_LT((MsgId{1, 1}), (MsgId{1, 2}));
+  EXPECT_EQ((MsgId{2, 3}), (MsgId{2, 3}));
+}
+
+TEST(MsgId, HashDistinguishesSenderAndSeq) {
+  MsgIdHash h;
+  EXPECT_NE(h(MsgId{0, 1}), h(MsgId{1, 0}));
+  EXPECT_EQ(h(MsgId{3, 9}), h(MsgId{3, 9}));
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1000000), b.uniform(0, 1000000));
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(7), b(7);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  EXPECT_EQ(fa.uniform(0, 1 << 30), fb.uniform(0, 1 << 30));
+  // Parent streams remain in lockstep after forking.
+  EXPECT_EQ(a.uniform(0, 1 << 30), b.uniform(0, 1 << 30));
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(1);
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, ExponentialIsPositiveWithRoughlyRightMean) {
+  Rng r(99);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const auto v = r.exponential(1000);
+    EXPECT_GE(v, 1);
+    sum += static_cast<double>(v);
+  }
+  const double mean = sum / trials;
+  EXPECT_NEAR(mean, 1000.0, 50.0);
+}
+
+// ---------------------------------------------------------------- time
+
+TEST(TimeHelpers, UnitsCompose) {
+  EXPECT_EQ(micros(1), nanos(1000));
+  EXPECT_EQ(millis(1), micros(1000));
+  EXPECT_EQ(seconds(1), millis(1000));
+}
+
+// ---------------------------------------------------------------- check
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    ABCAST_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const InvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(ABCAST_CHECK(2 + 2 == 4));
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(Logging, SinkReceivesEnabledLevelsOnly) {
+  auto& logger = Logger::instance();
+  const auto old_level = logger.level();
+  std::vector<std::pair<LogLevel, std::string>> seen;
+  logger.set_sink([&](LogLevel lvl, const std::string& msg) {
+    seen.emplace_back(lvl, msg);
+  });
+  logger.set_level(LogLevel::kInfo);
+
+  ABCAST_LOG(kDebug, "hidden " << 1);
+  ABCAST_LOG(kInfo, "shown " << 2);
+  ABCAST_LOG(kError, "also shown");
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].second, "shown 2");
+  EXPECT_EQ(seen[1].first, LogLevel::kError);
+
+  logger.set_sink(nullptr);
+  logger.set_level(old_level);
+}
+
+TEST(Logging, OffDisablesEverything) {
+  auto& logger = Logger::instance();
+  const auto old_level = logger.level();
+  int count = 0;
+  logger.set_sink([&](LogLevel, const std::string&) { count++; });
+  logger.set_level(LogLevel::kOff);
+  ABCAST_LOG(kError, "nope");
+  EXPECT_EQ(count, 0);
+  logger.set_sink(nullptr);
+  logger.set_level(old_level);
+}

@@ -1,0 +1,376 @@
+// Tests for the crash-recovery consensus engines, run against both engines
+// via parameterized suites: Uniform Validity, Uniform Agreement (including
+// across crash/recovery), Termination, proposal idempotence (P4), decision
+// stability (P5), multi-instance independence, truncation semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "consensus/consensus.hpp"
+#include "fd/failure_detector.hpp"
+#include "sim/simulation.hpp"
+#include "storage/mem_storage.hpp"
+
+using namespace abcast;
+using namespace abcast::sim;
+
+namespace {
+
+Bytes val(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+/// Shared (crash-surviving) observation record for one process.
+struct Observed {
+  // Every (instance, value) pair the decided callback reported, in order.
+  std::vector<std::pair<InstanceId, Bytes>> decisions;
+  std::vector<std::pair<ProcessId, InstanceId>> obsolete_pings;
+};
+
+class ConsNode final : public NodeApp {
+ public:
+  ConsNode(Env& env, ConsensusKind kind, Observed& obs)
+      : fd_(env, FdConfig{}),
+        cons_(make_consensus(kind, env, fd_)),
+        obs_(obs) {
+    cons_->set_decided_callback([this](InstanceId k, const Bytes& v) {
+      obs_.decisions.emplace_back(k, v);
+    });
+    cons_->set_obsolete_callback([this](ProcessId from, InstanceId k) {
+      obs_.obsolete_pings.emplace_back(from, k);
+    });
+  }
+
+  void start(bool recovering) override {
+    fd_.start(recovering);
+    cons_->start(recovering);
+  }
+  void on_message(ProcessId from, const Wire& msg) override {
+    if (fd_.handles(msg.type)) {
+      fd_.on_message(from, msg);
+    } else if (cons_->handles(msg.type)) {
+      cons_->on_message(from, msg);
+    }
+  }
+
+  ConsensusService& cons() { return *cons_; }
+
+ private:
+  EpochFailureDetector fd_;
+  std::unique_ptr<ConsensusService> cons_;
+  Observed& obs_;
+};
+
+struct ConsCluster {
+  ConsCluster(SimConfig cfg, ConsensusKind kind)
+      : sim(cfg), observed(cfg.n) {
+    sim.set_node_factory([this, kind](Env& env) {
+      return std::make_unique<ConsNode>(env, kind, observed[env.self()]);
+    });
+    sim.start_all();
+  }
+
+  ConsensusService& cons(ProcessId p) {
+    return static_cast<ConsNode*>(sim.node(p))->cons();
+  }
+
+  bool await_decision(InstanceId k, std::vector<ProcessId> at,
+                      Duration timeout = seconds(60)) {
+    return sim.run_until_pred(
+        [&] {
+          for (const ProcessId p : at) {
+            if (!sim.host(p).is_up()) return false;
+            if (!cons(p).decision(k)) return false;
+          }
+          return true;
+        },
+        sim.now() + timeout);
+  }
+
+  Simulation sim;
+  std::vector<Observed> observed;
+};
+
+class EngineTest : public ::testing::TestWithParam<ConsensusKind> {};
+
+}  // namespace
+
+TEST_P(EngineTest, DecidesAProposedValue) {
+  ConsCluster c({.n = 3, .seed = 1}, GetParam());
+  c.cons(0).propose(0, val("alpha"));
+  ASSERT_TRUE(c.await_decision(0, {0, 1, 2}));
+  // Uniform validity: the only proposal was "alpha".
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(*c.cons(p).decision(0), val("alpha")) << "p" << p;
+  }
+}
+
+TEST_P(EngineTest, AgreementWithConcurrentProposers) {
+  ConsCluster c({.n = 5, .seed = 2}, GetParam());
+  for (ProcessId p = 0; p < 5; ++p) {
+    c.cons(p).propose(0, val("v" + std::to_string(p)));
+  }
+  ASSERT_TRUE(c.await_decision(0, {0, 1, 2, 3, 4}));
+  const Bytes d = *c.cons(0).decision(0);
+  bool was_proposed = false;
+  for (ProcessId p = 0; p < 5; ++p) {
+    EXPECT_EQ(*c.cons(p).decision(0), d);
+    was_proposed |= d == val("v" + std::to_string(p));
+  }
+  EXPECT_TRUE(was_proposed);
+}
+
+TEST_P(EngineTest, AgreementUnderLossyDuplicatingNetwork) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SimConfig cfg{.n = 5, .seed = seed};
+    cfg.net.drop_prob = 0.25;
+    cfg.net.dup_prob = 0.15;
+    ConsCluster c(cfg, GetParam());
+    for (ProcessId p = 0; p < 5; ++p) {
+      c.cons(p).propose(0, val("v" + std::to_string(p)));
+    }
+    ASSERT_TRUE(c.await_decision(0, {0, 1, 2, 3, 4})) << "seed " << seed;
+    const Bytes d = *c.cons(0).decision(0);
+    for (ProcessId p = 1; p < 5; ++p) EXPECT_EQ(*c.cons(p).decision(0), d);
+  }
+}
+
+TEST_P(EngineTest, ProposalIsIdempotentAndFirstValueWins) {
+  ConsCluster c({.n = 3, .seed = 3}, GetParam());
+  c.cons(0).propose(0, val("first"));
+  c.cons(0).propose(0, val("second"));  // ignored (P4)
+  ASSERT_TRUE(c.await_decision(0, {0, 1, 2}));
+  EXPECT_EQ(*c.cons(0).decision(0), val("first"));
+}
+
+TEST_P(EngineTest, ProposerReproposesSameValueAfterCrash) {
+  // P4: the proposal is logged before anything else, so the same value is
+  // re-proposed after recovery even if the caller passes something else.
+  ConsCluster c({.n = 3, .seed = 4}, GetParam());
+  // Isolate p0 so instance 0 cannot finish before the crash.
+  c.sim.partition({0});
+  c.cons(0).propose(0, val("durable"));
+  c.sim.run_for(millis(50));
+  c.sim.crash(0);
+  c.sim.heal_partition();
+  c.sim.recover(0);
+  c.cons(0).propose(0, val("impostor"));  // must be ignored
+  ASSERT_TRUE(c.await_decision(0, {0, 1, 2}));
+  EXPECT_EQ(*c.cons(0).decision(0), val("durable"));
+}
+
+TEST_P(EngineTest, DecisionSurvivesCrashRecovery) {
+  ConsCluster c({.n = 3, .seed = 5}, GetParam());
+  c.cons(1).propose(0, val("keep"));
+  ASSERT_TRUE(c.await_decision(0, {0, 1, 2}));
+  c.sim.crash(1);
+  c.sim.recover(1);
+  // P5: the decision is immediately available from the log after recovery.
+  ASSERT_TRUE(c.cons(1).decision(0).has_value());
+  EXPECT_EQ(*c.cons(1).decision(0), val("keep"));
+}
+
+TEST_P(EngineTest, UniformAgreementAcrossIncarnations) {
+  // A process that decides, crashes, and recovers must never observe a
+  // different decision (Uniform Agreement includes bad processes).
+  ConsCluster c({.n = 3, .seed = 6}, GetParam());
+  c.cons(2).propose(0, val("x"));
+  ASSERT_TRUE(c.await_decision(0, {2}));
+  const Bytes before = *c.cons(2).decision(0);
+  for (int i = 0; i < 3; ++i) {
+    c.sim.crash(2);
+    c.sim.run_for(millis(100));
+    c.sim.recover(2);
+    ASSERT_TRUE(c.await_decision(0, {2}));
+    EXPECT_EQ(*c.cons(2).decision(0), before);
+  }
+}
+
+TEST_P(EngineTest, DecisionSpreadsWhenDeciderDiesForever) {
+  // The decider may be the only process that learned the outcome; after it
+  // dies, the remaining majority must still be able to (re)decide the same
+  // value when they propose.
+  ConsCluster c({.n = 3, .seed = 7}, GetParam());
+  c.cons(0).propose(0, val("orphan"));
+  ASSERT_TRUE(c.await_decision(0, {0}));
+  c.sim.crash(0);  // never recovers
+  c.cons(1).propose(0, val("other1"));
+  c.cons(2).propose(0, val("other2"));
+  ASSERT_TRUE(c.await_decision(0, {1, 2}));
+  EXPECT_EQ(*c.cons(1).decision(0), val("orphan"));
+  EXPECT_EQ(*c.cons(2).decision(0), val("orphan"));
+}
+
+TEST_P(EngineTest, NoProgressWithoutMajorityThenProgressAfterRecovery) {
+  ConsCluster c({.n = 3, .seed = 8}, GetParam());
+  c.sim.crash(1);
+  c.sim.crash(2);
+  c.cons(0).propose(0, val("stalled"));
+  EXPECT_FALSE(c.await_decision(0, {0}, seconds(5)));  // minority blocks
+  c.sim.recover(1);
+  ASSERT_TRUE(c.await_decision(0, {0, 1}, seconds(60)));
+  EXPECT_EQ(*c.cons(1).decision(0), val("stalled"));
+}
+
+TEST_P(EngineTest, ManyInstancesAreIndependent) {
+  ConsCluster c({.n = 3, .seed = 9}, GetParam());
+  const int kInstances = 20;
+  for (int k = 0; k < kInstances; ++k) {
+    const ProcessId proposer = static_cast<ProcessId>(k % 3);
+    c.cons(proposer).propose(static_cast<InstanceId>(k),
+                             val("inst" + std::to_string(k)));
+  }
+  for (int k = 0; k < kInstances; ++k) {
+    ASSERT_TRUE(c.await_decision(static_cast<InstanceId>(k), {0, 1, 2}));
+    EXPECT_EQ(*c.cons(0).decision(static_cast<InstanceId>(k)),
+              val("inst" + std::to_string(k)));
+  }
+}
+
+TEST_P(EngineTest, DecidedCallbackFiresOncePerInstance) {
+  ConsCluster c({.n = 3, .seed = 10}, GetParam());
+  c.cons(0).propose(0, val("once"));
+  c.cons(0).propose(1, val("twice"));
+  ASSERT_TRUE(c.await_decision(0, {0, 1, 2}));
+  ASSERT_TRUE(c.await_decision(1, {0, 1, 2}));
+  c.sim.run_for(seconds(2));  // let retransmissions settle
+  for (ProcessId p = 0; p < 3; ++p) {
+    std::map<InstanceId, int> counts;
+    for (const auto& [k, v] : c.observed[p].decisions) counts[k] += 1;
+    EXPECT_EQ(counts[0], 1) << "p" << p;
+    EXPECT_EQ(counts[1], 1) << "p" << p;
+  }
+}
+
+TEST_P(EngineTest, ProposedPredicateTracksDurableProposals) {
+  ConsCluster c({.n = 3, .seed = 11}, GetParam());
+  EXPECT_FALSE(c.cons(0).proposed(0));
+  c.cons(0).propose(0, val("p"));
+  EXPECT_TRUE(c.cons(0).proposed(0));
+  c.sim.crash(0);
+  c.sim.recover(0);
+  EXPECT_TRUE(c.cons(0).proposed(0));  // reloaded from the log
+}
+
+TEST_P(EngineTest, EmptyValueIsLegal) {
+  ConsCluster c({.n = 3, .seed = 12}, GetParam());
+  c.cons(0).propose(0, Bytes{});
+  ASSERT_TRUE(c.await_decision(0, {0, 1, 2}));
+  EXPECT_TRUE(c.cons(1).decision(0)->empty());
+}
+
+TEST_P(EngineTest, TruncationDropsRecordsAndIgnoresOldInstances) {
+  ConsCluster c({.n = 3, .seed = 13}, GetParam());
+  for (InstanceId k = 0; k < 5; ++k) {
+    c.cons(0).propose(k, val("k" + std::to_string(k)));
+    ASSERT_TRUE(c.await_decision(k, {0, 1, 2}));
+  }
+  c.sim.run_for(seconds(2));  // drain retransmissions
+  c.cons(0).truncate_below(3);
+  EXPECT_EQ(c.cons(0).low_water(), 3u);
+  EXPECT_FALSE(c.cons(0).decision(0).has_value());
+  EXPECT_FALSE(c.cons(0).proposed(2));
+  EXPECT_TRUE(c.cons(0).decision(3).has_value());
+  // Durable: still truncated after crash-recovery.
+  c.sim.crash(0);
+  c.sim.recover(0);
+  EXPECT_EQ(c.cons(0).low_water(), 3u);
+  EXPECT_FALSE(c.cons(0).decision(1).has_value());
+  EXPECT_TRUE(c.cons(0).decision(4).has_value());
+}
+
+TEST_P(EngineTest, ObsoleteCallbackFiresForTruncatedInstanceTraffic) {
+  // p2 sleeps through instances 0..4; the survivors then truncate. When p2
+  // comes back and proposes an ancient instance, its traffic must trigger
+  // the obsolete callback (the upper layer's cue to send a state transfer).
+  ConsCluster c({.n = 3, .seed = 14}, GetParam());
+  c.sim.crash(2);
+  for (InstanceId k = 0; k < 5; ++k) {
+    c.cons(0).propose(k, val("v" + std::to_string(k)));
+    ASSERT_TRUE(c.await_decision(k, {0, 1}));
+  }
+  c.sim.run_for(seconds(3));
+  c.cons(0).truncate_below(5);
+  c.cons(1).truncate_below(5);
+  c.sim.recover(2);
+  c.cons(2).propose(0, val("late"));
+  ASSERT_TRUE(c.sim.run_until_pred(
+      [&] { return !c.observed[0].obsolete_pings.empty() ||
+                   !c.observed[1].obsolete_pings.empty(); },
+      c.sim.now() + seconds(30)));
+  const auto& pings = c.observed[0].obsolete_pings.empty()
+                          ? c.observed[1].obsolete_pings
+                          : c.observed[0].obsolete_pings;
+  EXPECT_EQ(pings.front().first, 2u);
+  EXPECT_LT(pings.front().second, 5u);
+}
+
+TEST_P(EngineTest, OfferDecisionsPushesKnownOutcomes) {
+  ConsCluster c({.n = 3, .seed = 16}, GetParam());
+  // Decide instances 0..2 while p2 is down: it must not learn them.
+  c.sim.crash(2);
+  for (InstanceId k = 0; k < 3; ++k) {
+    c.cons(0).propose(k, val("d" + std::to_string(k)));
+    ASSERT_TRUE(c.await_decision(k, {0, 1}));
+  }
+  c.sim.run_for(seconds(3));  // decider retransmissions back off
+  c.sim.recover(2);
+  EXPECT_FALSE(c.cons(2).decision(0).has_value());
+  c.cons(0).offer_decisions(2, 0, 16);
+  for (InstanceId k = 0; k < 3; ++k) {
+    ASSERT_TRUE(c.await_decision(k, {2})) << "instance " << k;
+  }
+  EXPECT_EQ(*c.cons(2).decision(1), val("d1"));
+}
+
+TEST_P(EngineTest, MetricsAccount) {
+  ConsCluster c({.n = 3, .seed = 17}, GetParam());
+  c.cons(0).propose(0, val("m"));
+  ASSERT_TRUE(c.await_decision(0, {0, 1, 2}));
+  EXPECT_EQ(c.cons(0).metrics().proposals, 1u);
+  EXPECT_GE(c.cons(0).metrics().decided_local +
+                c.cons(0).metrics().decided_learned,
+            1u);
+  EXPECT_GE(c.cons(0).storage_stats().put_ops, 2u);  // proposal + decision
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, EngineTest,
+                         ::testing::Values(ConsensusKind::kPaxos,
+                                           ConsensusKind::kCoord),
+                         [](const ::testing::TestParamInfo<ConsensusKind>&
+                                pinfo) {
+                           return std::string(to_string(pinfo.param));
+                         });
+
+TEST_P(EngineTest, SevenProcessAgreementUnderHeavyLossSweep) {
+  for (std::uint64_t seed = 40; seed < 44; ++seed) {
+    SimConfig cfg{.n = 7, .seed = seed};
+    cfg.net.drop_prob = 0.3;
+    ConsCluster c(cfg, GetParam());
+    for (ProcessId p = 0; p < 7; ++p) {
+      c.cons(p).propose(0, val("v" + std::to_string(p)));
+    }
+    ASSERT_TRUE(c.await_decision(0, {0, 1, 2, 3, 4, 5, 6}, seconds(300)))
+        << "seed " << seed;
+    const Bytes d = *c.cons(0).decision(0);
+    for (ProcessId p = 1; p < 7; ++p) {
+      EXPECT_EQ(*c.cons(p).decision(0), d) << "seed " << seed;
+    }
+  }
+}
+
+TEST_P(EngineTest, CoordinatorOrLeaderPartitionedAwayMidInstance) {
+  // The driver (leader/coordinator, p0 for instance 0) is cut off mid
+  // instance; the rest must still decide once they suspect it, and p0 must
+  // converge to the same decision after healing.
+  ConsCluster c({.n = 5, .seed = 45}, GetParam());
+  c.sim.run_for(millis(300));  // detectors settle
+  c.cons(0).propose(0, val("from-driver"));
+  c.sim.run_for(millis(20));   // the first phase is in flight
+  c.sim.partition({0});
+  c.cons(1).propose(0, val("from-backup"));
+  ASSERT_TRUE(c.await_decision(0, {1, 2, 3, 4}, seconds(120)));
+  const Bytes d = *c.cons(1).decision(0);
+  c.sim.heal_partition();
+  ASSERT_TRUE(c.await_decision(0, {0}, seconds(120)));
+  EXPECT_EQ(*c.cons(0).decision(0), d);
+}

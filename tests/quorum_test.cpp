@@ -1,0 +1,279 @@
+// Tests for quorum-based replica management (paper §6.3): weighted-voting
+// reads/writes on the data path, Atomic-Broadcast-ordered vote
+// reassignment on the configuration path, durability of quorum acks.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "apps/quorum.hpp"
+#include "sim/simulation.hpp"
+
+using namespace abcast;
+using namespace abcast::apps;
+
+namespace {
+
+struct QuorumCluster {
+  QuorumCluster(sim::SimConfig cfg, QuorumConfig initial)
+      : sim(cfg) {
+    sim.set_node_factory([initial](Env& env) {
+      return std::make_unique<QuorumReplicaNode>(env, core::StackConfig{},
+                                                 initial);
+    });
+    sim.start_all();
+  }
+
+  QuorumReplicaNode* node(ProcessId p) {
+    return static_cast<QuorumReplicaNode*>(sim.node(p));
+  }
+
+  /// Synchronous-style write driven by the simulator. The callback owns
+  /// its flag (shared_ptr): a quorum op can complete long after this await
+  /// times out (e.g. once a crashed majority recovers), so capturing a
+  /// stack variable by reference would dangle.
+  bool write(ProcessId via, std::string key, std::string value,
+             Duration timeout = seconds(60)) {
+    auto done = std::make_shared<bool>(false);
+    node(via)->write(std::move(key), std::move(value),
+                     [done] { *done = true; });
+    return sim.run_until_pred([&] { return *done; }, sim.now() + timeout);
+  }
+
+  /// Synchronous-style read; returns nullopt on timeout OR missing key
+  /// (out_ok distinguishes).
+  std::optional<std::string> read(ProcessId via, std::string key,
+                                  bool* out_ok = nullptr,
+                                  Duration timeout = seconds(60)) {
+    auto done = std::make_shared<bool>(false);
+    auto result = std::make_shared<std::optional<std::string>>();
+    node(via)->read(std::move(key),
+                    [done, result](std::optional<std::string> v,
+                                   QuorumVersion) {
+                      *result = std::move(v);
+                      *done = true;
+                    });
+    const bool ok =
+        sim.run_until_pred([&] { return *done; }, sim.now() + timeout);
+    if (out_ok != nullptr) *out_ok = ok;
+    return ok ? *result : std::nullopt;
+  }
+
+  sim::Simulation sim;
+};
+
+}  // namespace
+
+TEST(QuorumConfigTest, ValidatesGiffordConditions) {
+  auto c = QuorumConfig::uniform(5);
+  c.validate(5);
+  EXPECT_EQ(c.total_votes(), 5u);
+  EXPECT_EQ(c.read_quorum, 3u);
+
+  QuorumConfig bad = c;
+  bad.read_quorum = 2;  // R + W = 5 = total: intersection lost
+  EXPECT_THROW(bad.validate(5), InvariantViolation);
+  bad = c;
+  bad.write_quorum = 2;  // 2W = 4 < 5
+  EXPECT_THROW(bad.validate(5), InvariantViolation);
+  bad = c;
+  bad.votes.pop_back();
+  EXPECT_THROW(bad.validate(5), InvariantViolation);
+}
+
+TEST(QuorumConfigTest, EncodeDecodeRoundTrip) {
+  QuorumConfig c;
+  c.votes = {3, 1, 1};
+  c.read_quorum = 2;
+  c.write_quorum = 4;
+  BufWriter w;
+  c.encode(w);
+  BufReader r(w.data());
+  const auto back = QuorumConfig::decode(r);
+  EXPECT_EQ(back.votes, c.votes);
+  EXPECT_EQ(back.read_quorum, 2u);
+  EXPECT_EQ(back.write_quorum, 4u);
+}
+
+TEST(Quorum, WriteThenReadFromAnotherReplica) {
+  QuorumCluster c({.n = 3, .seed = 1}, QuorumConfig::uniform(3));
+  ASSERT_TRUE(c.write(0, "k", "v1"));
+  EXPECT_EQ(c.read(2, "k"), "v1");
+}
+
+TEST(Quorum, ReadOfUnwrittenKeyReturnsNothing) {
+  QuorumCluster c({.n = 3, .seed = 2}, QuorumConfig::uniform(3));
+  bool ok = false;
+  EXPECT_EQ(c.read(1, "ghost", &ok), std::nullopt);
+  EXPECT_TRUE(ok);  // the quorum answered; the key just does not exist
+}
+
+TEST(Quorum, OverwritesAreOrderedByVersion) {
+  QuorumCluster c({.n = 3, .seed = 3}, QuorumConfig::uniform(3));
+  ASSERT_TRUE(c.write(0, "k", "v1"));
+  ASSERT_TRUE(c.write(1, "k", "v2"));
+  ASSERT_TRUE(c.write(2, "k", "v3"));
+  EXPECT_EQ(c.read(0, "k"), "v3");
+  // The version-read phase made each write supersede the previous one.
+  EXPECT_GE(c.node(0)->local_version("k").counter, 3u);
+}
+
+TEST(Quorum, ToleratesMinorityCrash) {
+  QuorumCluster c({.n = 5, .seed = 4}, QuorumConfig::uniform(5));
+  ASSERT_TRUE(c.write(0, "k", "before"));
+  c.sim.crash(3);
+  c.sim.crash(4);
+  ASSERT_TRUE(c.write(1, "k", "after"));   // 3 of 5 is a quorum
+  EXPECT_EQ(c.read(2, "k"), "after");
+}
+
+TEST(Quorum, MajorityCrashBlocksUntilRecovery) {
+  QuorumCluster c({.n = 3, .seed = 5}, QuorumConfig::uniform(3));
+  ASSERT_TRUE(c.write(0, "k", "v"));
+  c.sim.crash(1);
+  c.sim.crash(2);
+  EXPECT_FALSE(c.write(0, "k", "stuck", seconds(5)));
+  c.sim.recover(1);
+  // The pending op's retry loop finds the quorum again.
+  ASSERT_TRUE(c.sim.run_until_pred(
+      [&] { return c.node(0)->metrics().writes_completed >= 2; },
+      c.sim.now() + seconds(60)));
+}
+
+TEST(Quorum, AckedWritesSurviveCrashRecovery) {
+  QuorumCluster c({.n = 3, .seed = 6}, QuorumConfig::uniform(3));
+  ASSERT_TRUE(c.write(0, "k", "durable"));
+  // Every replica that acked logged before acking; crash them all.
+  for (ProcessId p = 0; p < 3; ++p) c.sim.crash(p);
+  for (ProcessId p = 0; p < 3; ++p) c.sim.recover(p);
+  EXPECT_EQ(c.read(1, "k"), "durable");
+}
+
+TEST(Quorum, ReadSeesLatestWriteUnderLoss) {
+  sim::SimConfig cfg{.n = 5, .seed = 7};
+  cfg.net.drop_prob = 0.2;
+  QuorumCluster c(cfg, QuorumConfig::uniform(5));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(c.write(static_cast<ProcessId>(i % 5), "k",
+                        "v" + std::to_string(i), seconds(120)));
+    const auto v = c.read(static_cast<ProcessId>((i + 2) % 5), "k", nullptr,
+                          seconds(120));
+    EXPECT_EQ(v, "v" + std::to_string(i));
+  }
+}
+
+TEST(Quorum, WeightedVotesLetAHeavyReplicaAnchorQuorums) {
+  // Replica 0 carries 3 of 5 votes: R=W=3 means {0} plus any one other
+  // replica is enough, and nothing succeeds without replica 0.
+  QuorumConfig weighted;
+  weighted.votes = {3, 1, 1};
+  weighted.read_quorum = 3;
+  weighted.write_quorum = 3;
+  QuorumCluster c({.n = 3, .seed = 8}, weighted);
+  // Both light replicas down: the heavy one alone reaches the quorum.
+  c.sim.crash(1);
+  c.sim.crash(2);
+  ASSERT_TRUE(c.write(0, "k", "heavy"));
+  EXPECT_EQ(c.read(0, "k"), "heavy");
+  // Heavy replica down: the two light ones (2 votes) cannot proceed.
+  c.sim.recover(1);
+  c.sim.recover(2);
+  c.sim.crash(0);
+  EXPECT_FALSE(c.write(1, "k", "light", seconds(5)));
+}
+
+TEST(Quorum, ReconfigurationIsOrderedByAtomicBroadcast) {
+  QuorumCluster c({.n = 3, .seed = 9}, QuorumConfig::uniform(3));
+  ASSERT_TRUE(c.write(0, "k", "v"));
+
+  QuorumConfig weighted;
+  weighted.votes = {3, 1, 1};
+  weighted.read_quorum = 3;
+  weighted.write_quorum = 3;
+  c.node(1)->propose_config(weighted);
+  ASSERT_TRUE(c.sim.run_until_pred(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (c.node(p)->epoch() != 1) return false;
+        }
+        return true;
+      },
+      c.sim.now() + seconds(60)));
+  for (ProcessId p = 0; p < 3; ++p) {
+    EXPECT_EQ(c.node(p)->config().votes, weighted.votes);
+  }
+  // The new configuration is live: the heavy replica anchors quorums.
+  c.sim.crash(1);
+  c.sim.crash(2);
+  ASSERT_TRUE(c.write(0, "k", "post-reconfig"));
+  EXPECT_EQ(c.read(0, "k"), "post-reconfig");
+}
+
+TEST(Quorum, OperationsStraddlingReconfigurationRestart) {
+  QuorumCluster c({.n = 3, .seed = 10}, QuorumConfig::uniform(3));
+  // Block replica 0 from the others so its write stalls mid-flight.
+  c.sim.partition({0});
+  bool done = false;
+  c.node(0)->write("k", "straddler", [&] { done = true; });
+  c.sim.run_for(millis(200));
+  EXPECT_FALSE(done);
+  // Meanwhile the others reconfigure (they have the AB majority).
+  c.node(1)->propose_config(QuorumConfig::uniform(3));
+  ASSERT_TRUE(c.sim.run_until_pred(
+      [&] { return c.node(1)->epoch() == 1; }, c.sim.now() + seconds(60)));
+  c.sim.heal_partition();
+  // p0 learns the new epoch (via its own AB delivery), restarts the write
+  // under it, and completes.
+  ASSERT_TRUE(c.sim.run_until_pred([&] { return done; },
+                                   c.sim.now() + seconds(60)));
+  EXPECT_GE(c.node(0)->metrics().stale_epoch_restarts, 1u);
+  EXPECT_EQ(c.read(2, "k"), "straddler");
+}
+
+TEST(Quorum, CrashedCoordinatorLosesItsPendingOpsOnly) {
+  QuorumCluster c({.n = 3, .seed = 11}, QuorumConfig::uniform(3));
+  ASSERT_TRUE(c.write(0, "k", "committed"));
+  // Start a write and crash the coordinator before it can finish.
+  c.sim.partition({1});
+  c.node(1)->write("k", "lost-op", [] {});
+  c.sim.run_for(millis(100));
+  c.sim.crash(1);
+  c.sim.heal_partition();
+  c.sim.recover(1);
+  // The in-flight op is gone (client-side state is volatile — callers
+  // retry), but committed data is intact everywhere.
+  EXPECT_EQ(c.read(1, "k"), "committed");
+}
+
+TEST(Quorum, ChurnSweepNeverLosesAcknowledgedWrites) {
+  // Writes complete against a churning replica set; every acknowledged
+  // write must remain visible to subsequent quorum reads, across seeds.
+  for (std::uint64_t seed = 30; seed < 34; ++seed) {
+    sim::SimConfig cfg{.n = 5, .seed = seed};
+    cfg.net.drop_prob = 0.05;
+    QuorumCluster c(cfg, QuorumConfig::uniform(5));
+    Rng rng(seed);
+    int completed = 0;
+    for (int i = 0; i < 12; ++i) {
+      // Random minority churn between operations.
+      if (rng.chance(0.5)) {
+        const ProcessId victim = static_cast<ProcessId>(rng.uniform(1, 4));
+        if (c.sim.host(victim).is_up()) {
+          c.sim.crash(victim);
+          c.sim.recover_at(c.sim.now() + millis(400), victim);
+        }
+      }
+      ProcessId via = static_cast<ProcessId>(rng.uniform(0, 4));
+      while (!c.sim.host(via).is_up()) via = (via + 1) % 5;
+      if (c.write(via, "k", "v" + std::to_string(i), seconds(120))) {
+        completed = i;
+        ProcessId reader = static_cast<ProcessId>(rng.uniform(0, 4));
+        while (!c.sim.host(reader).is_up()) reader = (reader + 1) % 5;
+        bool ok = false;
+        const auto v = c.read(reader, "k", &ok, seconds(120));
+        ASSERT_TRUE(ok) << "seed " << seed << " op " << i;
+        ASSERT_EQ(v, "v" + std::to_string(i)) << "seed " << seed;
+      }
+    }
+    EXPECT_GE(completed, 8) << "seed " << seed;
+  }
+}

@@ -1,0 +1,42 @@
+// End-to-end smoke: the full stack orders messages across 3 processes.
+#include <gtest/gtest.h>
+
+#include "harness/fixture.hpp"
+
+using namespace abcast;
+using namespace abcast::harness;
+
+TEST(Smoke, ThreeProcessesOrderMessages) {
+  ClusterConfig cfg;
+  cfg.sim.n = 3;
+  cfg.sim.seed = 42;
+  Cluster cluster(cfg);
+  cluster.start_all();
+
+  auto ids = cluster.broadcast_many(0, 5);
+  auto more = cluster.broadcast_many(1, 5);
+  ids.insert(ids.end(), more.begin(), more.end());
+
+  ASSERT_TRUE(cluster.await_delivery(ids));
+  cluster.oracle().check();
+  EXPECT_EQ(cluster.oracle().global_order().size(), 10u);
+}
+
+TEST(Smoke, SurvivesOneCrashRecovery) {
+  ClusterConfig cfg;
+  cfg.sim.n = 3;
+  cfg.sim.seed = 7;
+  Cluster cluster(cfg);
+  cluster.start_all();
+
+  auto ids = cluster.broadcast_many(0, 3);
+  ASSERT_TRUE(cluster.await_delivery(ids));
+
+  cluster.sim().crash(2);
+  auto ids2 = cluster.broadcast_many(0, 3);
+  ASSERT_TRUE(cluster.await_delivery(ids2, {0, 1}));
+
+  cluster.sim().recover(2);
+  ASSERT_TRUE(cluster.await_delivery(ids2, {2}));
+  cluster.oracle().check();
+}

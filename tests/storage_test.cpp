@@ -1,0 +1,284 @@
+// Unit tests for the stable-storage implementations: in-memory, file-backed
+// (crash-atomicity, CRC), scoped views, and the discard baseline.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "storage/discard_storage.hpp"
+#include "storage/file_storage.hpp"
+#include "storage/mem_storage.hpp"
+#include "storage/scoped_storage.hpp"
+
+using namespace abcast;
+namespace fs = std::filesystem;
+
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("abcast_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- MemStorage
+
+TEST(MemStorage, PutGetEraseRoundTrip) {
+  MemStableStorage s;
+  EXPECT_FALSE(s.get("k").has_value());
+  s.put("k", bytes_of("v1"));
+  EXPECT_EQ(s.get("k"), bytes_of("v1"));
+  s.put("k", bytes_of("v2"));  // overwrite
+  EXPECT_EQ(s.get("k"), bytes_of("v2"));
+  s.erase("k");
+  EXPECT_FALSE(s.get("k").has_value());
+}
+
+TEST(MemStorage, PrefixEnumerationIsSortedAndScoped) {
+  MemStableStorage s;
+  s.put("cons/prop/2", {});
+  s.put("cons/prop/1", {});
+  s.put("cons/dec/1", {});
+  s.put("ab/ckpt", {});
+  const auto keys = s.keys_with_prefix("cons/prop/");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "cons/prop/1");
+  EXPECT_EQ(keys[1], "cons/prop/2");
+  EXPECT_EQ(s.keys_with_prefix("").size(), 4u);
+  EXPECT_TRUE(s.keys_with_prefix("zzz").empty());
+}
+
+TEST(MemStorage, StatsCountOperations) {
+  MemStableStorage s;
+  s.put("a", bytes_of("xy"));
+  s.put("b", {});
+  s.get("a");
+  s.get("missing");
+  s.erase("a");
+  EXPECT_EQ(s.stats().put_ops, 2u);
+  EXPECT_EQ(s.stats().get_ops, 2u);
+  EXPECT_EQ(s.stats().erase_ops, 1u);
+  EXPECT_EQ(s.stats().bytes_written, 1 + 2 + 1u);
+}
+
+TEST(MemStorage, FootprintTracksLiveBytes) {
+  MemStableStorage s;
+  s.put("key1", bytes_of("0123456789"));
+  EXPECT_EQ(s.footprint_bytes(), 4 + 10u);
+  s.put("key1", bytes_of("01"));  // shrink in place
+  EXPECT_EQ(s.footprint_bytes(), 4 + 2u);
+  s.erase("key1");
+  EXPECT_EQ(s.footprint_bytes(), 0u);
+}
+
+TEST(MemStorage, PerScopeAccountingSurvivesManyOps) {
+  MemStableStorage s;
+  s.put("cons/a", bytes_of("1"));
+  s.put("cons/b", bytes_of("22"));
+  s.put("ab/x", bytes_of("333"));
+  s.put("noscope", {});
+  EXPECT_EQ(s.scope_stats("cons").put_ops, 2u);
+  // "cons/a"+1 value byte and "cons/b"+2 value bytes.
+  EXPECT_EQ(s.scope_stats("cons").bytes_written, 7 + 8u);
+  EXPECT_EQ(s.scope_stats("ab").put_ops, 1u);
+  EXPECT_EQ(s.scope_stats("fd").put_ops, 0u);
+}
+
+TEST(MemStorage, ResetClearsEverything) {
+  MemStableStorage s;
+  s.put("a", bytes_of("v"));
+  s.reset();
+  EXPECT_FALSE(s.get("a").has_value());
+  EXPECT_EQ(s.stats().put_ops, 0u);
+  EXPECT_TRUE(s.by_scope().empty());
+}
+
+// ------------------------------------------------------------ FileStorage
+
+TEST(FileStorage, PersistsAcrossInstances) {
+  TempDir dir;
+  {
+    FileStableStorage s(dir.path());
+    s.put("cons/prop/1", bytes_of("hello"));
+    s.put("ab/ckpt", bytes_of("world"));
+  }
+  FileStableStorage s2(dir.path());
+  EXPECT_EQ(s2.get("cons/prop/1"), bytes_of("hello"));
+  EXPECT_EQ(s2.get("ab/ckpt"), bytes_of("world"));
+}
+
+TEST(FileStorage, OverwriteIsAtomicReplacement) {
+  TempDir dir;
+  FileStableStorage s(dir.path());
+  s.put("k", bytes_of("old"));
+  s.put("k", bytes_of("new"));
+  EXPECT_EQ(s.get("k"), bytes_of("new"));
+  // Exactly one live record file.
+  EXPECT_EQ(s.keys_with_prefix("").size(), 1u);
+}
+
+TEST(FileStorage, KeyEscapingRoundTripsHostileKeys) {
+  TempDir dir;
+  FileStableStorage s(dir.path());
+  const std::string key = "a/b c%d\xE2\x82\xAC!";
+  s.put(key, bytes_of("v"));
+  EXPECT_EQ(s.get(key), bytes_of("v"));
+  const auto keys = s.keys_with_prefix("a/");
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], key);
+}
+
+TEST(FileStorage, DetectsCorruptedRecord) {
+  TempDir dir;
+  FileStableStorage s(dir.path());
+  s.put("victim", bytes_of("important data"));
+  // Flip a byte in the stored file.
+  fs::path file;
+  for (const auto& e : fs::directory_iterator(dir.path())) file = e.path();
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(6);
+    char c;
+    f.seekg(6);
+    f.get(c);
+    f.seekp(6);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  FileStableStorage s2(dir.path());
+  EXPECT_FALSE(s2.get("victim").has_value());
+  EXPECT_EQ(s2.corrupt_records(), 1u);
+}
+
+TEST(FileStorage, DetectsTruncatedRecord) {
+  TempDir dir;
+  FileStableStorage s(dir.path());
+  s.put("victim", bytes_of("0123456789abcdef"));
+  fs::path file;
+  for (const auto& e : fs::directory_iterator(dir.path())) file = e.path();
+  fs::resize_file(file, fs::file_size(file) - 5);
+  FileStableStorage s2(dir.path());
+  EXPECT_FALSE(s2.get("victim").has_value());
+  EXPECT_GE(s2.corrupt_records(), 1u);
+}
+
+TEST(FileStorage, CleansLeftoverTempFiles) {
+  TempDir dir;
+  {
+    FileStableStorage s(dir.path());
+    s.put("good", bytes_of("v"));
+  }
+  // Simulate a crash mid-put: a stray temp file.
+  std::ofstream(dir.path() / "good.99.tmp") << "partial garbage";
+  FileStableStorage s2(dir.path());
+  EXPECT_EQ(s2.get("good"), bytes_of("v"));
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    EXPECT_NE(e.path().extension(), ".tmp");
+  }
+}
+
+TEST(FileStorage, EraseRemovesRecord) {
+  TempDir dir;
+  FileStableStorage s(dir.path());
+  s.put("k", bytes_of("v"));
+  s.erase("k");
+  EXPECT_FALSE(s.get("k").has_value());
+  EXPECT_TRUE(s.keys_with_prefix("").empty());
+  s.erase("never-existed");  // no-op
+}
+
+TEST(FileStorage, FootprintReflectsFiles) {
+  TempDir dir;
+  FileStableStorage s(dir.path());
+  EXPECT_EQ(s.footprint_bytes(), 0u);
+  s.put("k", Bytes(100, 7));
+  EXPECT_GT(s.footprint_bytes(), 100u);
+}
+
+TEST(FileStorage, MismatchedKeyInRecordReadsAsAbsent) {
+  TempDir dir;
+  FileStableStorage s(dir.path());
+  s.put("alpha", bytes_of("v"));
+  // Copy alpha's record file to a different key's filename.
+  fs::copy_file(dir.path() / "alpha", dir.path() / "beta");
+  EXPECT_FALSE(s.get("beta").has_value());
+  EXPECT_EQ(s.corrupt_records(), 1u);
+}
+
+// ----------------------------------------------------------- ScopedStorage
+
+TEST(ScopedStorage, PrefixesKeysAndStripsOnEnumeration) {
+  MemStableStorage inner;
+  ScopedStorage cons(inner, "cons");
+  ScopedStorage ab(inner, "ab");
+  cons.put("prop/1", bytes_of("p"));
+  ab.put("ckpt", bytes_of("c"));
+
+  EXPECT_EQ(inner.get("cons/prop/1"), bytes_of("p"));
+  EXPECT_EQ(cons.get("prop/1"), bytes_of("p"));
+  EXPECT_FALSE(cons.get("ckpt").has_value());
+
+  const auto keys = cons.keys_with_prefix("");
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], "prop/1");
+}
+
+TEST(ScopedStorage, TracksItsOwnStats) {
+  MemStableStorage inner;
+  ScopedStorage cons(inner, "cons");
+  ScopedStorage ab(inner, "ab");
+  cons.put("a", bytes_of("xx"));
+  cons.put("b", {});
+  ab.put("c", {});
+  EXPECT_EQ(cons.stats().put_ops, 2u);
+  EXPECT_EQ(ab.stats().put_ops, 1u);
+  EXPECT_EQ(inner.stats().put_ops, 3u);
+}
+
+TEST(ScopedStorage, FootprintCoversOwnScopeOnly) {
+  MemStableStorage inner;
+  ScopedStorage cons(inner, "cons");
+  ScopedStorage ab(inner, "ab");
+  cons.put("a", Bytes(10, 1));
+  ab.put("b", Bytes(100, 2));
+  EXPECT_LT(cons.footprint_bytes(), 30u);
+  EXPECT_GE(ab.footprint_bytes(), 100u);
+}
+
+TEST(ScopedStorage, EraseIsScoped) {
+  MemStableStorage inner;
+  ScopedStorage cons(inner, "cons");
+  inner.put("ab/x", bytes_of("keep"));
+  cons.put("x", bytes_of("gone"));
+  cons.erase("x");
+  EXPECT_FALSE(cons.get("x").has_value());
+  EXPECT_TRUE(inner.get("ab/x").has_value());
+}
+
+// ---------------------------------------------------------- DiscardStorage
+
+TEST(DiscardStorage, StoresNothingButCounts) {
+  DiscardStorage s;
+  s.put("k", bytes_of("v"));
+  EXPECT_FALSE(s.get("k").has_value());
+  EXPECT_TRUE(s.keys_with_prefix("").empty());
+  EXPECT_EQ(s.footprint_bytes(), 0u);
+  EXPECT_EQ(s.stats().put_ops, 1u);
+  EXPECT_EQ(s.stats().bytes_written, 2u);
+}

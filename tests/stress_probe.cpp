@@ -1,0 +1,59 @@
+#include <cstdio>
+#include "harness/fixture.hpp"
+#include "sim/fault_plan.hpp"
+
+using namespace abcast;
+using namespace abcast::harness;
+
+int run(ConsensusKind kind, bool alt, double drop, double dup, uint64_t seed, bool churn) {
+  ClusterConfig cfg;
+  cfg.sim.n = 5;
+  cfg.sim.seed = seed;
+  cfg.sim.net.drop_prob = drop;
+  cfg.sim.net.dup_prob = dup;
+  cfg.stack.engine = kind;
+  cfg.stack.ab = alt ? core::Options::alternative() : core::Options::basic();
+  Cluster cluster(cfg);
+  cluster.start_all();
+
+  std::unique_ptr<sim::ChurnInjector> inj;
+  if (churn) {
+    sim::ChurnConfig cc;
+    cc.mtbf = seconds(2);
+    cc.mttr = millis(300);
+    cc.stop = seconds(20);
+    // Spare the broadcaster: the basic protocol may legitimately lose a
+    // message whose sender crashes before it is agreed.
+    cc.victims = {1, 2, 3, 4};
+    inj = std::make_unique<sim::ChurnInjector>(cluster.sim(), cc);
+  }
+
+  std::vector<MsgId> ids;
+  // Broadcast 50 messages over time from whichever of 0..4 is up.
+  for (int i = 0; i < 50; ++i) {
+    cluster.sim().run_for(millis(50));
+    ids.push_back(cluster.broadcast(0));
+  }
+  cluster.sim().run_until(seconds(25));  // churn window over; let it settle
+  // ensure all up
+  for (ProcessId p = 0; p < 5; ++p) if (!cluster.sim().host(p).is_up()) cluster.sim().recover(p);
+  bool ok = cluster.await_delivery(ids, {}, seconds(120));
+  cluster.oracle().check();
+  printf("engine=%s alt=%d drop=%.2f dup=%.2f seed=%llu churn=%d -> %s (global=%zu, crashes=%llu)\n",
+         to_string(kind), (int)alt, drop, dup, (unsigned long long)seed, (int)churn,
+         ok ? "OK" : "TIMEOUT", cluster.oracle().global_order().size(),
+         (unsigned long long)(inj ? inj->crashes_injected() : 0));
+  return ok ? 0 : 1;
+}
+
+int main() {
+  int fails = 0;
+  for (auto kind : {ConsensusKind::kPaxos, ConsensusKind::kCoord})
+    for (bool alt : {false, true})
+      for (uint64_t seed : {1ull, 2ull, 3ull}) {
+        fails += run(kind, alt, 0.1, 0.05, seed, false);
+        fails += run(kind, alt, 0.1, 0.05, seed, true);
+      }
+  printf("fails=%d\n", fails);
+  return fails;
+}

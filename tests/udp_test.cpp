@@ -1,0 +1,131 @@
+// Tests for the UDP transport: the same protocol stacks over real sockets
+// on localhost. UDP *is* the paper's §3.1 transport (unreliable datagrams,
+// fair-lossy), so no loss injection is needed — the retransmission
+// machinery covers whatever the kernel drops.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/kv_store.hpp"
+#include "apps/rsm.hpp"
+#include "net/udp_env.hpp"
+
+using namespace abcast;
+using namespace abcast::net;
+using namespace abcast::apps;
+
+namespace {
+
+struct UdpKv {
+  explicit UdpKv(std::uint32_t n, std::uint64_t seed,
+                 core::StackConfig stack = {})
+      : hosts(make_local_udp_cluster(n, seed)), applied(n) {
+    for (auto& a : applied) {
+      a = std::make_unique<std::atomic<std::uint64_t>>(0);
+    }
+    factory = [this, stack](Env& env) {
+      const ProcessId pid = env.self();
+      return std::make_unique<RsmNode>(
+          env, stack, [] { return std::make_unique<KvStore>(); },
+          [this, pid](const core::AppMsg&) { applied[pid]->fetch_add(1); });
+    };
+    for (auto& h : hosts) h->start_node(factory, /*recovering=*/false);
+  }
+
+  bool submit_add(ProcessId via, std::int64_t delta) {
+    auto& h = *hosts[via];
+    return h.call([&h, delta] {
+      static_cast<RsmNode*>(h.node_unsafe())
+          ->submit(KvCommand::add("n", delta));
+    });
+  }
+
+  std::int64_t read_n(ProcessId at) {
+    std::int64_t v = -1;
+    auto& h = *hosts[at];
+    h.call([&h, &v] {
+      v = static_cast<KvStore&>(
+              static_cast<RsmNode*>(h.node_unsafe())->rsm().machine())
+              .get_int("n");
+    });
+    return v;
+  }
+
+  bool wait_for(const std::function<bool()>& pred, Duration timeout) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return pred();
+  }
+
+  std::vector<std::unique_ptr<UdpHost>> hosts;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> applied;
+  NodeFactory factory;
+};
+
+}  // namespace
+
+TEST(Udp, ClusterBindsDistinctEphemeralPorts) {
+  auto hosts = make_local_udp_cluster(3, 1);
+  EXPECT_NE(hosts[0]->local_port(), 0);
+  EXPECT_NE(hosts[0]->local_port(), hosts[1]->local_port());
+  EXPECT_NE(hosts[1]->local_port(), hosts[2]->local_port());
+}
+
+TEST(Udp, OrdersCommandsOverRealSockets) {
+  UdpKv c(3, 2);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(c.submit_add(static_cast<ProcessId>(i % 3), 1));
+  }
+  ASSERT_TRUE(c.wait_for(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (c.applied[p]->load() < 12) return false;
+        }
+        return true;
+      },
+      seconds(60)));
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(c.read_n(p), 12);
+}
+
+TEST(Udp, CrashRecoveryOverRealSockets) {
+  core::StackConfig stack;
+  stack.ab.log_unordered = true;  // submissions survive the sender's crash
+  stack.ab.incremental_unordered_log = true;
+  UdpKv c(3, 3, stack);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(c.submit_add(0, 1));
+  }
+  ASSERT_TRUE(c.wait_for(
+      [&] { return c.applied[2]->load() >= 6; }, seconds(60)));
+  c.hosts[2]->crash_node();
+  EXPECT_FALSE(c.hosts[2]->is_up());
+  EXPECT_FALSE(c.submit_add(2, 1));  // call() refuses on a down node
+  c.hosts[2]->start_node(c.factory, /*recovering=*/true);
+  // Recovery replays from this host's surviving storage.
+  ASSERT_TRUE(c.wait_for([&] { return c.read_n(2) == 6; }, seconds(60)));
+}
+
+TEST(Udp, OversizedDatagramsAreCountedNotFatal) {
+  auto hosts = make_local_udp_cluster(2, 4);
+  struct Blaster final : NodeApp {
+    explicit Blaster(Env& env) : env_(env) {}
+    void start(bool) override {
+      env_.send(1, Wire{MsgType::kAbGossip, Bytes(70 * 1024, 0xAB)});
+    }
+    void on_message(ProcessId, const Wire&) override {}
+    Env& env_;
+  };
+  hosts[0]->start_node(
+      [](Env& env) { return std::make_unique<Blaster>(env); }, false);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (hosts[0]->send_failures() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(hosts[0]->send_failures(), 1u);
+}
