@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ct_baseline.dir/bench_ct_baseline.cpp.o"
+  "CMakeFiles/bench_ct_baseline.dir/bench_ct_baseline.cpp.o.d"
+  "bench_ct_baseline"
+  "bench_ct_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ct_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_logops.dir/bench_logops.cpp.o"
+  "CMakeFiles/bench_logops.dir/bench_logops.cpp.o.d"
+  "bench_logops"
+  "bench_logops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quorum.dir/bench_quorum.cpp.o"
+  "CMakeFiles/bench_quorum.dir/bench_quorum.cpp.o.d"
+  "bench_quorum"
+  "bench_quorum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quorum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_recovery.cpp" "bench/CMakeFiles/bench_recovery.dir/bench_recovery.cpp.o" "gcc" "bench/CMakeFiles/bench_recovery.dir/bench_recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/abcast_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/abcast_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/multicast/CMakeFiles/abcast_multicast.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/abcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/abcast_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/abcast_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/abcast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/abcast_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abcast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_statetransfer.dir/bench_statetransfer.cpp.o"
+  "CMakeFiles/bench_statetransfer.dir/bench_statetransfer.cpp.o.d"
+  "bench_statetransfer"
+  "bench_statetransfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_statetransfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deferred_update_db.dir/deferred_update_db.cpp.o"
+  "CMakeFiles/deferred_update_db.dir/deferred_update_db.cpp.o.d"
+  "deferred_update_db"
+  "deferred_update_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deferred_update_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for deferred_update_db.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigroup.dir/multigroup.cpp.o"
+  "CMakeFiles/multigroup.dir/multigroup.cpp.o.d"
+  "multigroup"
+  "multigroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

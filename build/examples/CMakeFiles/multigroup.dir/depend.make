@@ -1,0 +1,2 @@
+# Empty dependencies file for multigroup.
+# This may be replaced when dependencies are built.

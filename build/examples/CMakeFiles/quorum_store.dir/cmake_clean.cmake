@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quorum_store.dir/quorum_store.cpp.o"
+  "CMakeFiles/quorum_store.dir/quorum_store.cpp.o.d"
+  "quorum_store"
+  "quorum_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quorum_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

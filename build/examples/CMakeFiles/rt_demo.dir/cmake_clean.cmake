@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_demo.dir/rt_demo.cpp.o"
+  "CMakeFiles/rt_demo.dir/rt_demo.cpp.o.d"
+  "rt_demo"
+  "rt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("env")
+subdirs("storage")
+subdirs("sim")
+subdirs("fd")
+subdirs("consensus")
+subdirs("core")
+subdirs("apps")
+subdirs("multicast")
+subdirs("rt")
+subdirs("net")
+subdirs("harness")

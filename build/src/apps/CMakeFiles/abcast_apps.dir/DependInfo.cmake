@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/deferred_update.cpp" "src/apps/CMakeFiles/abcast_apps.dir/deferred_update.cpp.o" "gcc" "src/apps/CMakeFiles/abcast_apps.dir/deferred_update.cpp.o.d"
+  "/root/repo/src/apps/kv_store.cpp" "src/apps/CMakeFiles/abcast_apps.dir/kv_store.cpp.o" "gcc" "src/apps/CMakeFiles/abcast_apps.dir/kv_store.cpp.o.d"
+  "/root/repo/src/apps/quorum.cpp" "src/apps/CMakeFiles/abcast_apps.dir/quorum.cpp.o" "gcc" "src/apps/CMakeFiles/abcast_apps.dir/quorum.cpp.o.d"
+  "/root/repo/src/apps/rsm.cpp" "src/apps/CMakeFiles/abcast_apps.dir/rsm.cpp.o" "gcc" "src/apps/CMakeFiles/abcast_apps.dir/rsm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/abcast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abcast_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/abcast_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/abcast_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/abcast_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_apps.dir/deferred_update.cpp.o"
+  "CMakeFiles/abcast_apps.dir/deferred_update.cpp.o.d"
+  "CMakeFiles/abcast_apps.dir/kv_store.cpp.o"
+  "CMakeFiles/abcast_apps.dir/kv_store.cpp.o.d"
+  "CMakeFiles/abcast_apps.dir/quorum.cpp.o"
+  "CMakeFiles/abcast_apps.dir/quorum.cpp.o.d"
+  "CMakeFiles/abcast_apps.dir/rsm.cpp.o"
+  "CMakeFiles/abcast_apps.dir/rsm.cpp.o.d"
+  "libabcast_apps.a"
+  "libabcast_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

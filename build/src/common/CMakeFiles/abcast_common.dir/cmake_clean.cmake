@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_common.dir/codec.cpp.o"
+  "CMakeFiles/abcast_common.dir/codec.cpp.o.d"
+  "CMakeFiles/abcast_common.dir/crc32.cpp.o"
+  "CMakeFiles/abcast_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/abcast_common.dir/logging.cpp.o"
+  "CMakeFiles/abcast_common.dir/logging.cpp.o.d"
+  "libabcast_common.a"
+  "libabcast_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

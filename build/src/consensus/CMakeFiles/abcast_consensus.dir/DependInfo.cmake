@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/coord_engine.cpp" "src/consensus/CMakeFiles/abcast_consensus.dir/coord_engine.cpp.o" "gcc" "src/consensus/CMakeFiles/abcast_consensus.dir/coord_engine.cpp.o.d"
+  "/root/repo/src/consensus/engine_base.cpp" "src/consensus/CMakeFiles/abcast_consensus.dir/engine_base.cpp.o" "gcc" "src/consensus/CMakeFiles/abcast_consensus.dir/engine_base.cpp.o.d"
+  "/root/repo/src/consensus/factory.cpp" "src/consensus/CMakeFiles/abcast_consensus.dir/factory.cpp.o" "gcc" "src/consensus/CMakeFiles/abcast_consensus.dir/factory.cpp.o.d"
+  "/root/repo/src/consensus/paxos_engine.cpp" "src/consensus/CMakeFiles/abcast_consensus.dir/paxos_engine.cpp.o" "gcc" "src/consensus/CMakeFiles/abcast_consensus.dir/paxos_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/env/CMakeFiles/abcast_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/abcast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/abcast_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abcast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_consensus.dir/coord_engine.cpp.o"
+  "CMakeFiles/abcast_consensus.dir/coord_engine.cpp.o.d"
+  "CMakeFiles/abcast_consensus.dir/engine_base.cpp.o"
+  "CMakeFiles/abcast_consensus.dir/engine_base.cpp.o.d"
+  "CMakeFiles/abcast_consensus.dir/factory.cpp.o"
+  "CMakeFiles/abcast_consensus.dir/factory.cpp.o.d"
+  "CMakeFiles/abcast_consensus.dir/paxos_engine.cpp.o"
+  "CMakeFiles/abcast_consensus.dir/paxos_engine.cpp.o.d"
+  "libabcast_consensus.a"
+  "libabcast_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

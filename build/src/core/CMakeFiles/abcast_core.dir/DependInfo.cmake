@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ab_consensus.cpp" "src/core/CMakeFiles/abcast_core.dir/ab_consensus.cpp.o" "gcc" "src/core/CMakeFiles/abcast_core.dir/ab_consensus.cpp.o.d"
+  "/root/repo/src/core/agreed_log.cpp" "src/core/CMakeFiles/abcast_core.dir/agreed_log.cpp.o" "gcc" "src/core/CMakeFiles/abcast_core.dir/agreed_log.cpp.o.d"
+  "/root/repo/src/core/atomic_broadcast.cpp" "src/core/CMakeFiles/abcast_core.dir/atomic_broadcast.cpp.o" "gcc" "src/core/CMakeFiles/abcast_core.dir/atomic_broadcast.cpp.o.d"
+  "/root/repo/src/core/crash_stop_ab.cpp" "src/core/CMakeFiles/abcast_core.dir/crash_stop_ab.cpp.o" "gcc" "src/core/CMakeFiles/abcast_core.dir/crash_stop_ab.cpp.o.d"
+  "/root/repo/src/core/delivery_sink.cpp" "src/core/CMakeFiles/abcast_core.dir/delivery_sink.cpp.o" "gcc" "src/core/CMakeFiles/abcast_core.dir/delivery_sink.cpp.o.d"
+  "/root/repo/src/core/node_stack.cpp" "src/core/CMakeFiles/abcast_core.dir/node_stack.cpp.o" "gcc" "src/core/CMakeFiles/abcast_core.dir/node_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consensus/CMakeFiles/abcast_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/abcast_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/abcast_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/abcast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abcast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

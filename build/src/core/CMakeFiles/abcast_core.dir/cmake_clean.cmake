@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_core.dir/ab_consensus.cpp.o"
+  "CMakeFiles/abcast_core.dir/ab_consensus.cpp.o.d"
+  "CMakeFiles/abcast_core.dir/agreed_log.cpp.o"
+  "CMakeFiles/abcast_core.dir/agreed_log.cpp.o.d"
+  "CMakeFiles/abcast_core.dir/atomic_broadcast.cpp.o"
+  "CMakeFiles/abcast_core.dir/atomic_broadcast.cpp.o.d"
+  "CMakeFiles/abcast_core.dir/crash_stop_ab.cpp.o"
+  "CMakeFiles/abcast_core.dir/crash_stop_ab.cpp.o.d"
+  "CMakeFiles/abcast_core.dir/delivery_sink.cpp.o"
+  "CMakeFiles/abcast_core.dir/delivery_sink.cpp.o.d"
+  "CMakeFiles/abcast_core.dir/node_stack.cpp.o"
+  "CMakeFiles/abcast_core.dir/node_stack.cpp.o.d"
+  "libabcast_core.a"
+  "libabcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_env.dir/env.cpp.o"
+  "CMakeFiles/abcast_env.dir/env.cpp.o.d"
+  "libabcast_env.a"
+  "libabcast_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

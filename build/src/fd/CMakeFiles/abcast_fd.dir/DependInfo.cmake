@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/failure_detector.cpp" "src/fd/CMakeFiles/abcast_fd.dir/failure_detector.cpp.o" "gcc" "src/fd/CMakeFiles/abcast_fd.dir/failure_detector.cpp.o.d"
+  "/root/repo/src/fd/suspect_list_detector.cpp" "src/fd/CMakeFiles/abcast_fd.dir/suspect_list_detector.cpp.o" "gcc" "src/fd/CMakeFiles/abcast_fd.dir/suspect_list_detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/env/CMakeFiles/abcast_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/abcast_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/abcast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

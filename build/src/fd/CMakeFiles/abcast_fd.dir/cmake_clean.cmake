@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_fd.dir/failure_detector.cpp.o"
+  "CMakeFiles/abcast_fd.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/abcast_fd.dir/suspect_list_detector.cpp.o"
+  "CMakeFiles/abcast_fd.dir/suspect_list_detector.cpp.o.d"
+  "libabcast_fd.a"
+  "libabcast_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_harness.dir/fixture.cpp.o"
+  "CMakeFiles/abcast_harness.dir/fixture.cpp.o.d"
+  "CMakeFiles/abcast_harness.dir/oracle.cpp.o"
+  "CMakeFiles/abcast_harness.dir/oracle.cpp.o.d"
+  "CMakeFiles/abcast_harness.dir/table.cpp.o"
+  "CMakeFiles/abcast_harness.dir/table.cpp.o.d"
+  "libabcast_harness.a"
+  "libabcast_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

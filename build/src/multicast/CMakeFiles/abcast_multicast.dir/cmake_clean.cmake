@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_multicast.dir/group_env.cpp.o"
+  "CMakeFiles/abcast_multicast.dir/group_env.cpp.o.d"
+  "CMakeFiles/abcast_multicast.dir/multicast.cpp.o"
+  "CMakeFiles/abcast_multicast.dir/multicast.cpp.o.d"
+  "libabcast_multicast.a"
+  "libabcast_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

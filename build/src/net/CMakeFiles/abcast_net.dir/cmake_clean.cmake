@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_net.dir/udp_env.cpp.o"
+  "CMakeFiles/abcast_net.dir/udp_env.cpp.o.d"
+  "libabcast_net.a"
+  "libabcast_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabcast_net.a"
+)

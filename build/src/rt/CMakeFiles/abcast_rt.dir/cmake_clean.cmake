@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_rt.dir/rt_cluster.cpp.o"
+  "CMakeFiles/abcast_rt.dir/rt_cluster.cpp.o.d"
+  "libabcast_rt.a"
+  "libabcast_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_sim.dir/fault_plan.cpp.o"
+  "CMakeFiles/abcast_sim.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/abcast_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/abcast_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/abcast_sim.dir/simulation.cpp.o"
+  "CMakeFiles/abcast_sim.dir/simulation.cpp.o.d"
+  "libabcast_sim.a"
+  "libabcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abcast_storage.dir/file_storage.cpp.o"
+  "CMakeFiles/abcast_storage.dir/file_storage.cpp.o.d"
+  "CMakeFiles/abcast_storage.dir/mem_storage.cpp.o"
+  "CMakeFiles/abcast_storage.dir/mem_storage.cpp.o.d"
+  "libabcast_storage.a"
+  "libabcast_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abcast_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

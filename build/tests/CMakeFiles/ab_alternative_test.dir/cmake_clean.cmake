@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_alternative_test.dir/ab_alternative_test.cpp.o"
+  "CMakeFiles/ab_alternative_test.dir/ab_alternative_test.cpp.o.d"
+  "ab_alternative_test"
+  "ab_alternative_test.pdb"
+  "ab_alternative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_alternative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

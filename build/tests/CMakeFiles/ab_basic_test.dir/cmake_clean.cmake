@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_basic_test.dir/ab_basic_test.cpp.o"
+  "CMakeFiles/ab_basic_test.dir/ab_basic_test.cpp.o.d"
+  "ab_basic_test"
+  "ab_basic_test.pdb"
+  "ab_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_consensus_test.dir/ab_consensus_test.cpp.o"
+  "CMakeFiles/ab_consensus_test.dir/ab_consensus_test.cpp.o.d"
+  "ab_consensus_test"
+  "ab_consensus_test.pdb"
+  "ab_consensus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_consensus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_properties_test.dir/ab_properties_test.cpp.o"
+  "CMakeFiles/ab_properties_test.dir/ab_properties_test.cpp.o.d"
+  "ab_properties_test"
+  "ab_properties_test.pdb"
+  "ab_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

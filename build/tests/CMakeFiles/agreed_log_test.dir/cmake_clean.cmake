@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agreed_log_test.dir/agreed_log_test.cpp.o"
+  "CMakeFiles/agreed_log_test.dir/agreed_log_test.cpp.o.d"
+  "agreed_log_test"
+  "agreed_log_test.pdb"
+  "agreed_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agreed_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_probe.dir/rt_probe.cpp.o"
+  "CMakeFiles/rt_probe.dir/rt_probe.cpp.o.d"
+  "rt_probe"
+  "rt_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

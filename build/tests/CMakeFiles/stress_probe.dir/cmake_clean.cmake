@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_probe.dir/stress_probe.cpp.o"
+  "CMakeFiles/stress_probe.dir/stress_probe.cpp.o.d"
+  "stress_probe"
+  "stress_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
