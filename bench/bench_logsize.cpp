@@ -84,7 +84,8 @@ void run_tables() {
     c.start_all();
     const int kMsgs = 300;
     run_open_loop(c, kMsgs, 16, millis(5));
-    auto* mem = dynamic_cast<MemStableStorage*>(&c.sim().host(0).storage());
+    auto* mem =
+        dynamic_cast<MemStableStorage*>(&c.sim().host(0).raw_storage());
     t2.row({incremental ? "incremental (5.5)" : "whole-set (5.4)",
             Table::num(static_cast<double>(
                            mem->scope_stats("ab").bytes_written) /

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the tree with sanitizers and runs the full test suite under them.
+#
+#   scripts/check_sanitize.sh                 # address,undefined (default)
+#   scripts/check_sanitize.sh thread          # any -fsanitize= value works
+#
+# Uses a dedicated build directory per sanitizer set so instrumented and
+# plain objects never mix.
+set -euo pipefail
+
+SANITIZERS="${1:-address,undefined}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-sanitize-$(echo "${SANITIZERS}" | tr ',' '-')"
+
+cmake -S "${ROOT}" -B "${BUILD}" -DABCAST_SANITIZE="${SANITIZERS}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j"$(nproc)"
+
+# Make sanitizer findings fatal and loud.
+export ASAN_OPTIONS="abort_on_error=1:detect_leaks=1:${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1:${UBSAN_OPTIONS:-}"
+
+ctest --test-dir "${BUILD}" -j"$(nproc)" --output-on-failure

@@ -56,6 +56,12 @@ struct ConsensusMetrics {
   std::uint64_t decided_local = 0;      // instances this process decided
   std::uint64_t decided_learned = 0;    // decisions learned from peers
   std::uint64_t attempts = 0;           // ballots (Paxos) or rounds (Coord)
+  /// Stored records found torn/corrupt during recovery and discarded.
+  std::uint64_t corrupt_records = 0;
+  /// Instances whose engine-private acceptor state was damaged: the process
+  /// stops acting as an acceptor for them (amnesia containment) until it
+  /// learns the decision from peers.
+  std::uint64_t quarantined = 0;
 };
 
 using DecidedCallback =

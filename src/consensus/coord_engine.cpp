@@ -4,6 +4,7 @@
 #include "common/codec.hpp"
 #include "common/logging.hpp"
 #include "consensus/keys.hpp"
+#include "storage/sealed_record.hpp"
 
 namespace abcast {
 namespace {
@@ -77,7 +78,7 @@ void CoordEngine::persist(InstanceId k, const Instance& inst) {
   w.boolean(inst.has_est);
   w.u64(inst.ts);
   w.bytes(inst.est);
-  storage_.put(consensus_keys::inst_key("st", k), w.data());
+  storage_.put(consensus_keys::inst_key("st", k), seal_record(w.data()));
 }
 
 void CoordEngine::engine_start(bool recovering) {
@@ -90,22 +91,44 @@ void CoordEngine::engine_start(bool recovering) {
     }
     auto rec = storage_.get(key);
     if (!rec) continue;
-    Instance& inst = instance(k);
-    BufReader r(*rec);
-    inst.round = r.u64();
-    inst.has_est = r.boolean();
-    inst.ts = r.u64();
-    inst.est = r.bytes();
-    r.expect_done();
-    if (inst.has_est && !has_decision(k)) {
-      inst.active = true;
-      inst.round_started = env_.now();
-      send_estimate(k, inst);
+    bool ok = false;
+    if (auto payload = unseal_record(*rec)) {
+      try {
+        Instance& inst = instance(k);
+        BufReader r(*payload);
+        inst.round = r.u64();
+        inst.has_est = r.boolean();
+        inst.ts = r.u64();
+        inst.est = r.bytes();
+        r.expect_done();
+        ok = true;
+        if (inst.has_est && !has_decision(k)) {
+          inst.active = true;
+          inst.round_started = env_.now();
+          send_estimate(k, inst);
+        }
+      } catch (const CodecError&) {
+      }
+    }
+    if (!ok) {
+      // The round/estimate record was torn: the round monotonicity and any
+      // estimate lock durably promised for k are forgotten. Participating
+      // again could ack an older round, so quarantine the instance — the
+      // decision is learned from peers.
+      note_corrupt_record();
+      quarantine_instance(k);
+      instances_.erase(k);
+      storage_.erase(key);
     }
   }
 }
 
 void CoordEngine::engine_propose(InstanceId k, const Bytes& value) {
+  // A quarantined instance must not be resurrected locally: proposing would
+  // persist a fresh (round 0, ts 0) record over the forgotten one and the
+  // coordinator path counts our own estimate without a message, bypassing
+  // the quarantine filter. Peers drive the instance; we learn the decision.
+  if (is_quarantined(k)) return;
   Instance& inst = instance(k);
   if (inst.active) return;
   if (!inst.has_est) {
@@ -231,6 +254,27 @@ void CoordEngine::engine_truncate(InstanceId k) {
     storage_.erase(consensus_keys::inst_key("st", it->first));
     it = instances_.erase(it);
   }
+}
+
+void CoordEngine::engine_quarantined_message(ProcessId from, const Wire& msg) {
+  // We must not vote on this instance again, but peers keep trusting us (we
+  // are up and heartbeating), so rounds we coordinate would stall forever:
+  // round advancement needs suspicion, and suspicion never comes. Steer the
+  // sender to the next round NOT coordinated by us. A nack only raises the
+  // receiver's round — always safe (like ballot preemption), it just costs
+  // an attempt.
+  if (msg.type != MsgType::kCoordEstimate) return;
+  // Every coord payload starts with (u64 k, u64 round).
+  BufReader peek(msg.payload);
+  const InstanceId k = peek.u64();
+  const std::uint64_t round = peek.u64();
+  // Redirect ONLY estimates for rounds we would coordinate: those are the
+  // rounds that stall on our silence. Nacking anything else would yank
+  // peers out of rounds where a healthy coordinator is making progress.
+  if (coord_of(round) != env_.self()) return;
+  std::uint64_t target = round + 1;
+  if (coord_of(target) == env_.self()) target += 1;
+  env_.send(from, make_wire(MsgType::kCoordNack, RoundMsg{k, target}));
 }
 
 void CoordEngine::engine_message(ProcessId from, const Wire& msg) {

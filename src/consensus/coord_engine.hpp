@@ -40,6 +40,7 @@ class CoordEngine final : public EngineBase {
   void engine_message(ProcessId from, const Wire& msg) override;
   void engine_decided(InstanceId k) override;
   void engine_truncate(InstanceId k) override;
+  void engine_quarantined_message(ProcessId from, const Wire& msg) override;
 
  private:
   struct Instance {

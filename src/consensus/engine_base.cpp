@@ -6,6 +6,7 @@
 #include "common/codec.hpp"
 #include "common/logging.hpp"
 #include "consensus/keys.hpp"
+#include "storage/sealed_record.hpp"
 
 namespace abcast {
 namespace {
@@ -39,8 +40,8 @@ EngineBase::EngineBase(Env& env, const LeaderOracle& oracle,
                        ConsensusConfig config, MsgType decided_type,
                        MsgType ack_type)
     : env_(env), oracle_(oracle), config_(config),
-      storage_(env.storage(), "cons"), decided_type_(decided_type),
-      ack_type_(ack_type) {
+      storage_(env.storage(), "cons"), trunc_mark_(storage_, "trunc"),
+      decided_type_(decided_type), ack_type_(ack_type) {
   ABCAST_CHECK(config_.tick_period > 0);
 }
 
@@ -48,24 +49,37 @@ void EngineBase::start(bool recovering) {
   ABCAST_CHECK_MSG(!started_, "consensus started twice");
   started_ = true;
 
-  if (auto rec = storage_.get("trunc")) {
-    BufReader r(*rec);
-    low_water_ = r.u64();
-    r.expect_done();
-  }
+  low_water_ = trunc_mark_.load();
+  metrics_.corrupt_records += trunc_mark_.corrupt_slots();
 
   // Rebuild the proposal and decision maps from the logs. Decisions loaded
   // here do NOT fire the decided callback: the upper layer's recovery
   // procedure queries decision() explicitly while replaying (paper Fig. 2).
   // Records below the low-water mark may survive a crash that interrupted
   // a truncation; ignore them (and finish the erase lazily).
+  //
+  // A record that fails its seal was torn by a crash mid-put. A torn
+  // decision was never announced (learn_decision logs before the callback),
+  // so treating the instance as undecided is consistent; the value is
+  // relearned from any peer holding it. A torn proposal means propose()
+  // never returned: the upper layer simply proposes afresh.
   for (const auto& key : storage_.keys_with_prefix("dec/")) {
     const InstanceId k = consensus_keys::parse_inst(key);
     if (k < low_water_) {
       storage_.erase(key);
       continue;
     }
-    if (auto v = storage_.get(key)) decisions_.emplace(k, std::move(*v));
+    bool ok = false;
+    if (auto v = storage_.get(key)) {
+      if (auto payload = unseal_record(*v)) {
+        decisions_.emplace(k, std::move(*payload));
+        ok = true;
+      }
+    }
+    if (!ok) {
+      metrics_.corrupt_records += 1;
+      storage_.erase(key);
+    }
   }
   for (const auto& key : storage_.keys_with_prefix("prop/")) {
     const InstanceId k = consensus_keys::parse_inst(key);
@@ -73,7 +87,17 @@ void EngineBase::start(bool recovering) {
       storage_.erase(key);
       continue;
     }
-    if (auto v = storage_.get(key)) proposals_.emplace(k, std::move(*v));
+    bool ok = false;
+    if (auto v = storage_.get(key)) {
+      if (auto payload = unseal_record(*v)) {
+        proposals_.emplace(k, std::move(*payload));
+        ok = true;
+      }
+    }
+    if (!ok) {
+      metrics_.corrupt_records += 1;
+      storage_.erase(key);
+    }
   }
   metrics_.proposals = proposals_.size();
 
@@ -90,11 +114,16 @@ void EngineBase::start(bool recovering) {
 
 void EngineBase::propose(InstanceId k, const Bytes& value) {
   ABCAST_CHECK_MSG(started_, "propose before start");
+  // Truncated instances are closed: their records are gone, so proposing
+  // would re-run consensus with amnesia. A caller this far behind (its
+  // checkpoint was lost to a torn write) is caught up by a state transfer,
+  // not by re-deciding old instances.
+  if (k < low_water_) return;
   auto it = proposals_.find(k);
   if (it == proposals_.end()) {
     // First proposal for k: log it before any other action, so the same
     // value is re-proposed after any crash (paper §4.3).
-    storage_.put(consensus_keys::inst_key("prop", k), value);
+    storage_.put(consensus_keys::inst_key("prop", k), seal_record(value));
     it = proposals_.emplace(k, value).first;
     metrics_.proposals += 1;
   }
@@ -120,8 +149,9 @@ void EngineBase::learn_decision(InstanceId k, const Bytes& value,
   if (has_decision(k)) return;
   // Log before announcing: Uniform Agreement must hold even if we crash
   // immediately after the callback runs.
-  storage_.put(consensus_keys::inst_key("dec", k), value);
+  storage_.put(consensus_keys::inst_key("dec", k), seal_record(value));
   decisions_.emplace(k, value);
+  quarantined_.erase(k);  // the outcome is known; amnesia no longer matters
   if (i_decided) {
     metrics_.decided_local += 1;
     // We produced this decision; disseminate it until every peer acks.
@@ -172,7 +202,20 @@ void EngineBase::on_message(ProcessId from, const Wire& msg) {
     env_.send(from, make_wire(decided_type_, DecidedMsg{k, it->second}));
     return;
   }
+  if (is_quarantined(k)) {
+    // Amnesiac for k: do not participate — but do not be a silent black
+    // hole either. A quarantined process that peers keep trusting (it is
+    // up and heartbeating) can otherwise stall the instance forever, e.g.
+    // when it is the rotating coordinator of the current round. Give the
+    // engine a chance to steer peers around us.
+    engine_quarantined_message(from, msg);
+    return;
+  }
   engine_message(from, msg);
+}
+
+void EngineBase::quarantine_instance(InstanceId k) {
+  if (quarantined_.insert(k).second) metrics_.quarantined += 1;
 }
 
 void EngineBase::offer_decisions(ProcessId to, InstanceId from_k,
@@ -187,10 +230,10 @@ void EngineBase::offer_decisions(ProcessId to, InstanceId from_k,
 void EngineBase::truncate_below(InstanceId k) {
   if (k <= low_water_) return;
   // Persist the mark first: after a crash we must keep ignoring these
-  // instances even if some record erases below did not complete.
-  BufWriter w;
-  w.u64(k);
-  storage_.put("trunc", w.data());
+  // instances even if some record erases below did not complete. The mark
+  // is dual-slot so a torn write of the new mark leaves the previous one —
+  // which still covers every erase performed so far — intact.
+  trunc_mark_.store(k);
   low_water_ = k;
   auto erase_below = [this, k](std::map<InstanceId, Bytes>& m,
                                const char* prefix) {
@@ -202,6 +245,7 @@ void EngineBase::truncate_below(InstanceId k) {
   erase_below(proposals_, "prop");
   erase_below(decisions_, "dec");
   retransmit_.erase(retransmit_.begin(), retransmit_.lower_bound(k));
+  quarantined_.erase(quarantined_.begin(), quarantined_.lower_bound(k));
   engine_truncate(k);
 }
 

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "consensus/consensus.hpp"
+#include "storage/durable_counter.hpp"
 #include "storage/scoped_storage.hpp"
 
 namespace abcast {
@@ -52,6 +53,14 @@ class EngineBase : public ConsensusService {
   /// Durably erase engine-private records of instances below `k` and drop
   /// their volatile state.
   virtual void engine_truncate(InstanceId k) = 0;
+  /// A message arrived for an instance this process is quarantined on (see
+  /// quarantine_instance). The engine may NOT act on the instance's state,
+  /// but it may redirect the sender so the group makes progress without us
+  /// (e.g. push it past rounds this process would have coordinated).
+  virtual void engine_quarantined_message(ProcessId from, const Wire& msg) {
+    (void)from;
+    (void)msg;
+  }
 
   // ---- services for the concrete engine ---------------------------------
   /// Records a decision (idempotent): logs it, fires the callback, starts
@@ -62,6 +71,21 @@ class EngineBase : public ConsensusService {
   bool has_decision(InstanceId k) const { return decisions_.count(k) != 0; }
   const std::map<InstanceId, Bytes>& proposals() const { return proposals_; }
   const Bytes* proposal_of(InstanceId k) const;
+
+  /// Amnesia containment. An engine that finds its private acceptor record
+  /// for instance `k` torn or corrupt must not participate in `k` again:
+  /// promises/estimates it durably made are forgotten, and acting as if
+  /// they never happened can double-vote an instance. Quarantining drops
+  /// every engine message for `k` (the generic decided/ack machinery still
+  /// works, so the decision is eventually learned from peers — safe as long
+  /// as a majority of acceptors kept their records). Lifted automatically
+  /// when the decision for `k` is learned or the instance is truncated.
+  void quarantine_instance(InstanceId k);
+  bool is_quarantined(InstanceId k) const {
+    return quarantined_.count(k) != 0;
+  }
+  /// Counts a record discarded as torn/corrupt during recovery.
+  void note_corrupt_record() { metrics_.corrupt_records += 1; }
 
   std::uint32_t majority() const { return env_.group_size() / 2 + 1; }
 
@@ -80,6 +104,11 @@ class EngineBase : public ConsensusService {
 
   void tick();
 
+  /// Dual-slot low-water mark: a torn write while truncating loses at most
+  /// the latest advance, and since records are only erased AFTER the mark
+  /// put returns, the surviving (older) mark still covers every completed
+  /// erase — the amnesia filter never opens up.
+  DurableCounter trunc_mark_;
   MsgType decided_type_;
   MsgType ack_type_;
   DecidedCallback decided_cb_;
@@ -87,6 +116,7 @@ class EngineBase : public ConsensusService {
   std::map<InstanceId, Bytes> proposals_;
   std::map<InstanceId, Bytes> decisions_;
   std::map<InstanceId, Retransmit> retransmit_;
+  std::set<InstanceId> quarantined_;
   InstanceId low_water_ = 0;
   bool started_ = false;
 };

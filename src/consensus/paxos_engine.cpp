@@ -6,6 +6,7 @@
 #include "common/codec.hpp"
 #include "common/logging.hpp"
 #include "consensus/keys.hpp"
+#include "storage/sealed_record.hpp"
 
 namespace abcast {
 namespace {
@@ -128,17 +129,24 @@ void PaxosEngine::persist_acceptor(InstanceId k, const Instance& inst) {
   w.u64(inst.promised);
   w.u64(inst.accepted_ballot);
   w.bytes(inst.accepted_value);
-  storage_.put(consensus_keys::inst_key("acc", k), w.data());
+  storage_.put(consensus_keys::inst_key("acc", k), seal_record(w.data()));
 }
 
-void PaxosEngine::load_acceptor(InstanceId k, Instance& inst,
+bool PaxosEngine::load_acceptor(InstanceId k, Instance& inst,
                                 const Bytes& record) {
   (void)k;
-  BufReader r(record);
-  inst.promised = r.u64();
-  inst.accepted_ballot = r.u64();
-  inst.accepted_value = r.bytes();
-  r.expect_done();
+  auto payload = unseal_record(record);
+  if (!payload) return false;
+  try {
+    BufReader r(*payload);
+    inst.promised = r.u64();
+    inst.accepted_ballot = r.u64();
+    inst.accepted_value = r.bytes();
+    r.expect_done();
+  } catch (const CodecError&) {
+    return false;
+  }
+  return true;
 }
 
 void PaxosEngine::engine_start(bool recovering) {
@@ -149,13 +157,29 @@ void PaxosEngine::engine_start(bool recovering) {
       storage_.erase(key);  // finish an interrupted truncation
       continue;
     }
+    bool ok = false;
     if (auto rec = storage_.get(key)) {
-      load_acceptor(k, instance(k), *rec);
+      ok = load_acceptor(k, instance(k), *rec);
+    }
+    if (!ok) {
+      // The acceptor record was torn: promises/acceptances durably made for
+      // k are forgotten. Acting as an acceptor again could double-vote the
+      // instance, so quarantine it — the decision is learned from peers.
+      note_corrupt_record();
+      quarantine_instance(k);
+      instances_.erase(k);
+      storage_.erase(key);
     }
   }
 }
 
 void PaxosEngine::engine_propose(InstanceId k, const Bytes& value) {
+  // Proposing on a quarantined instance is NOT safe even though proposer
+  // state is volatile: ballot uniqueness across our own crashes rests on
+  // the self-promise stored in the (torn, discarded) acceptor record.
+  // next_ballot() could then reissue an old ballot with a different value.
+  // Peers drive the instance; we learn the decision.
+  if (is_quarantined(k)) return;
   Instance& inst = instance(k);
   if (inst.proposing) return;
   inst.proposing = true;

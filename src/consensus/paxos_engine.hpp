@@ -71,7 +71,8 @@ class PaxosEngine final : public EngineBase {
   ProcessId ballot_owner(Ballot b) const;
   Instance& instance(InstanceId k);
   void persist_acceptor(InstanceId k, const Instance& inst);
-  void load_acceptor(InstanceId k, Instance& inst, const Bytes& record);
+  /// Returns false when the record fails its seal or does not decode.
+  bool load_acceptor(InstanceId k, Instance& inst, const Bytes& record);
   void start_ballot(InstanceId k, Instance& inst);
   void drive(InstanceId k, Instance& inst);
 

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "storage/sealed_record.hpp"
 
 namespace abcast::core {
 namespace {
@@ -93,34 +94,78 @@ void AtomicBroadcast::start(bool recovering, std::uint64_t incarnation) {
   if (recovering) {
     // §5.1: resume from the logged (k, Agreed) checkpoint when present;
     // otherwise replay() reconstructs everything from Consensus decisions.
+    // A checkpoint that fails its seal or does not decode is a torn write:
+    // discard it and recover as if it never existed — replay (and, with
+    // truncated logs, a state transfer from a peer) rebuilds the sequence.
     if (options_.checkpointing) {
-      if (auto rec = storage_.get(kCkptKey)) {
-        BufReader r(*rec);
-        k_ = r.u64();
-        agreed_ = AgreedLog::decode(r);
-        r.expect_done();
-        // Rebuild the application: install the checkpoint base (or the
-        // initial state) and re-deliver the explicit suffix.
-        if (agreed_.base()) {
-          sink_.install_checkpoint(agreed_.base()->state);
+      if (auto raw = storage_.get(kCkptKey)) {
+        bool ok = false;
+        if (auto rec = unseal_record(*raw)) {
+          try {
+            BufReader r(*rec);
+            const std::uint64_t k = r.u64();
+            AgreedLog agreed = AgreedLog::decode(r);
+            r.expect_done();
+            k_ = k;
+            agreed_ = std::move(agreed);
+            ok = true;
+          } catch (const CodecError&) {
+          }
         }
-        for (const auto& m : agreed_.suffix()) sink_.deliver(m);
+        if (ok) {
+          // Rebuild the application: install the checkpoint base (or the
+          // initial state) and re-deliver the explicit suffix.
+          if (agreed_.base()) {
+            sink_.install_checkpoint(agreed_.base()->state);
+          }
+          for (const auto& m : agreed_.suffix()) sink_.deliver(m);
+        } else {
+          metrics_.corrupt_records += 1;
+          k_ = 0;
+          agreed_ = AgreedLog(env_.group_size());
+          storage_.erase(kCkptKey);
+        }
       }
     }
-    // §5.4: restore the durable Unordered set.
+    // §5.4: restore the durable Unordered set. A damaged element was torn
+    // by a crash inside the broadcast() that logged it — the call never
+    // returned, so dropping the message does not violate Validity.
     if (options_.log_unordered) {
       if (options_.incremental_unordered_log) {
         for (const auto& key : storage_.keys_with_prefix("u/")) {
-          if (auto rec = storage_.get(key)) {
-            BufReader r(*rec);
-            AppMsg m = AppMsg::decode(r);
-            r.expect_done();
-            unordered_.emplace(m.id, std::move(m));
+          bool ok = false;
+          if (auto raw = storage_.get(key)) {
+            if (auto rec = unseal_record(*raw)) {
+              try {
+                BufReader r(*rec);
+                AppMsg m = AppMsg::decode(r);
+                r.expect_done();
+                unordered_.emplace(m.id, std::move(m));
+                ok = true;
+              } catch (const CodecError&) {
+              }
+            }
+          }
+          if (!ok) {
+            metrics_.corrupt_records += 1;
+            storage_.erase(key);
           }
         }
-      } else if (auto rec = storage_.get(kUnorderedKey)) {
-        for (auto& m : decode_batch(*rec)) {
-          unordered_.emplace(m.id, std::move(m));
+      } else if (auto raw = storage_.get(kUnorderedKey)) {
+        bool ok = false;
+        if (auto rec = unseal_record(*raw)) {
+          try {
+            for (auto& m : decode_batch(*rec)) {
+              unordered_.emplace(m.id, std::move(m));
+            }
+            ok = true;
+          } catch (const CodecError&) {
+            unordered_.clear();
+          }
+        }
+        if (!ok) {
+          metrics_.corrupt_records += 1;
+          storage_.erase(kUnorderedKey);
         }
       }
     }
@@ -157,7 +202,7 @@ MsgId AtomicBroadcast::broadcast(Bytes payload) {
     if (options_.incremental_unordered_log) {
       // §5.5: log only the new element, not the whole set.
       storage_.put(unordered_item_key(id),
-                   encode_to_bytes(unordered_.at(id)));
+                   seal_record(encode_to_bytes(unordered_.at(id))));
     } else {
       log_unordered_set();
     }
@@ -183,7 +228,7 @@ void AtomicBroadcast::log_unordered_set() {
   std::vector<AppMsg> all;
   all.reserve(unordered_.size());
   for (const auto& [id, m] : unordered_) all.push_back(m);
-  storage_.put(kUnorderedKey, encode_batch(all));
+  storage_.put(kUnorderedKey, seal_record(encode_batch(all)));
 }
 
 void AtomicBroadcast::erase_unordered_record(const MsgId& id) {
@@ -397,7 +442,7 @@ void AtomicBroadcast::take_checkpoint() {
   BufWriter w;
   w.u64(k_);
   agreed_.encode(w);
-  storage_.put(kCkptKey, w.data());
+  storage_.put(kCkptKey, seal_record(w.data()));
   metrics_.checkpoints += 1;
   if (options_.truncate_logs) {
     // Fig. 4 line c, widened to consensus-internal records. Keep a Δ-deep

@@ -48,6 +48,10 @@ struct AbMetrics {
   std::uint64_t state_sent_trimmed = 0;  // of which tail-only (§5.3 opt.)
   std::uint64_t state_applied = 0;       // state transfers adopted
   std::uint64_t checkpoints = 0;
+  /// Stored records found torn/corrupt during recovery (CRC or decode
+  /// failure) and discarded; the protocol fell back to replay/state
+  /// transfer instead of trusting them.
+  std::uint64_t corrupt_records = 0;
 };
 
 class AtomicBroadcast {
@@ -66,6 +70,14 @@ class AtomicBroadcast {
 
   /// A-broadcast(m). See file header for completion semantics.
   MsgId broadcast(Bytes payload);
+
+  /// The id the NEXT broadcast() call will assign. Lets a harness register
+  /// the id with its oracle BEFORE invoking broadcast(), so a broadcast
+  /// interrupted by a crash mid-log (but still durable and later delivered)
+  /// is accounted for.
+  MsgId next_broadcast_id() const {
+    return MsgId{env_.self(), make_seq(incarnation_, counter_ + 1)};
+  }
 
   /// A-delivered(m, ·): true once `id` is in the local delivery sequence.
   bool is_delivered(const MsgId& id) const { return agreed_.contains(id); }

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/codec.hpp"
+#include "storage/durable_counter.hpp"
 #include "storage/scoped_storage.hpp"
 
 namespace abcast::core {
@@ -21,17 +22,11 @@ NodeStack::NodeStack(Env& env, StackConfig config, DeliverySink& sink)
 // "node/"), used when the failure detector has bounded output and thus no
 // epoch of its own.
 std::uint64_t NodeStack::own_incarnation_bump() {
+  // Dual-slot: a torn write must not roll the incarnation back — a reused
+  // incarnation reuses message ids, and the vector-clock duplicate
+  // suppression would then drop fresh messages (a Validity violation).
   ScopedStorage storage(env_.storage(), "node");
-  std::uint64_t prev = 0;
-  if (auto rec = storage.get("incarnation")) {
-    BufReader r(*rec);
-    prev = r.u64();
-    r.expect_done();
-  }
-  BufWriter w;
-  w.u64(prev + 1);
-  storage.put("incarnation", w.data());
-  return prev + 1;
+  return DurableCounter(storage, "incarnation").bump();
 }
 
 void NodeStack::start(bool recovering) {

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,6 +16,17 @@
 #include "common/types.hpp"
 
 namespace abcast {
+
+/// Thrown on unrecoverable I/O errors (directory not writable, rename
+/// failure, injected faults). Corrupted *records* are not errors — they read
+/// as absent. In the paper's model a log operation either completes or the
+/// process crashes, so hosts translate an escaping StorageIoError into a
+/// process crash.
+class StorageIoError : public std::runtime_error {
+ public:
+  explicit StorageIoError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Operation and footprint accounting for a stable storage instance.
 /// `put_ops` is the paper's "number of log operations".

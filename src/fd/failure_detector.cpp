@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/codec.hpp"
 #include "common/logging.hpp"
+#include "storage/durable_counter.hpp"
 
 namespace abcast {
 namespace {
@@ -29,16 +30,10 @@ EpochFailureDetector::EpochFailureDetector(Env& env, FdConfig config)
 
 void EpochFailureDetector::start(bool recovering) {
   (void)recovering;  // the epoch record itself tells us whether we lived before
-  std::uint64_t prev = 0;
-  if (auto rec = storage_.get(kEpochKey)) {
-    BufReader r(*rec);
-    prev = r.u64();
-    r.expect_done();
-  }
-  epoch_ = prev + 1;
-  BufWriter w;
-  w.u64(epoch_);
-  storage_.put(kEpochKey, w.data());
+  // Dual-slot counter: a torn write can never roll the epoch back, which
+  // would reuse incarnation numbers (and therefore message ids) and make
+  // the duplicate-suppression logic drop fresh messages.
+  epoch_ = DurableCounter(storage_, kEpochKey).bump();
 
   const TimePoint now = env_.now();
   for (ProcessId p = 0; p < env_.group_size(); ++p) {

@@ -34,6 +34,28 @@ MsgId Cluster::broadcast(ProcessId p, Bytes payload) {
   return id;
 }
 
+Cluster::BroadcastAttempt Cluster::broadcast_may_crash(ProcessId p,
+                                                       Bytes payload) {
+  core::NodeStack* s = stack(p);
+  ABCAST_CHECK_MSG(s != nullptr, "broadcast from a down process");
+  BroadcastAttempt out;
+  // Register the id BEFORE invoking broadcast: if the call crashes after
+  // its log op, the message is durable and will be delivered on recovery —
+  // the oracle must already know it to keep its Validity check sound.
+  out.id = s->ab().next_broadcast_id();
+  oracle_.on_broadcast(out.id, sim_.now());
+  try {
+    const MsgId actual = s->ab().broadcast(std::move(payload));
+    ABCAST_CHECK(actual == out.id);
+    out.completed = true;
+  } catch (const SimulatedCrash&) {
+    sim_.host(p).crash_from_storage_fault();
+  } catch (const StorageIoError&) {
+    sim_.host(p).crash_from_storage_fault();
+  }
+  return out;
+}
+
 std::vector<MsgId> Cluster::broadcast_many(ProcessId p, std::size_t count) {
   std::vector<MsgId> ids;
   ids.reserve(count);
@@ -77,8 +99,9 @@ std::vector<ProcessId> Cluster::up_processes() {
 
 Cluster::LogOps Cluster::log_ops(ProcessId p) {
   // Per-scope counters live in the host-side storage so they survive
-  // crashes; this requires the default MemStableStorage.
-  auto* mem = dynamic_cast<MemStableStorage*>(&sim_.host(p).storage());
+  // crashes; this requires the default MemStableStorage (behind the
+  // fault-injection decorator).
+  auto* mem = dynamic_cast<MemStableStorage*>(&sim_.host(p).raw_storage());
   ABCAST_CHECK_MSG(mem != nullptr,
                    "log_ops requires MemStableStorage-backed hosts");
   LogOps ops;

@@ -35,6 +35,22 @@ class Cluster {
   /// with the oracle.
   MsgId broadcast(ProcessId p, Bytes payload = {});
 
+  /// Outcome of a broadcast attempted against storage with an armed
+  /// crash-point: `completed` is false when the call was interrupted by a
+  /// crash. The id is registered with the oracle either way — an
+  /// interrupted broadcast may still have been made durable (crash after
+  /// the log op) and legitimately delivered later.
+  struct BroadcastAttempt {
+    MsgId id{};
+    bool completed = false;
+  };
+
+  /// Like broadcast(), but tolerates the process crashing inside the call
+  /// (SimulatedCrash / StorageIoError from an armed fault): the crash is
+  /// converted into the usual host crash and reported in the result instead
+  /// of unwinding into the test.
+  BroadcastAttempt broadcast_may_crash(ProcessId p, Bytes payload = {});
+
   /// Broadcasts `count` small messages from `p`.
   std::vector<MsgId> broadcast_many(ProcessId p, std::size_t count);
 

@@ -17,12 +17,18 @@
 
 namespace abcast::sim {
 
-enum class FaultKind { kCrash, kRecover };
+enum class FaultKind { kCrash, kRecover, kCrashAtStorageOp };
 
 struct FaultEvent {
   TimePoint at = 0;
   ProcessId process = 0;
   FaultKind kind = FaultKind::kCrash;
+  /// kCrashAtStorageOp only: the process crashes at its `op_index`-th
+  /// storage operation counted from `at` (1 = the very next one), in the
+  /// given phase. Lands the crash inside the log window instead of between
+  /// operations, which plain kCrash can never do.
+  std::uint64_t op_index = 1;
+  CrashPhase phase = CrashPhase::kBeforeOp;
 };
 
 /// Installs a scripted list of crash/recover events. Events targeting a
@@ -42,6 +48,16 @@ struct ChurnConfig {
   std::uint32_t max_down = 0;
   /// Processes subject to churn; empty means all.
   std::vector<ProcessId> victims;
+  /// Probability a churn crash is delivered as a storage crash-point (the
+  /// process dies AT one of its next few log operations, in a random phase)
+  /// instead of an immediate kill between operations.
+  double storage_crash_prob = 0.0;
+  /// Storage crash-points land within the next [1, window] operations.
+  std::uint64_t storage_crash_op_window = 4;
+  /// If the victim performs no storage operation within this deadline the
+  /// armed crash-point is abandoned and the process is killed outright, so
+  /// churn keeps its rate even over idle processes.
+  Duration storage_crash_deadline = millis(200);
 };
 
 /// Installs random crash/recovery churn driven by the simulation's RNG.
@@ -51,6 +67,14 @@ class ChurnInjector {
   ChurnInjector(Simulation& sim, ChurnConfig config);
 
   std::uint64_t crashes_injected() const { return state_->crashes; }
+  /// Crashes delivered as storage crash-points (subset of crashes_injected;
+  /// some may have fallen back to an outright kill at the deadline).
+  std::uint64_t storage_crashes_armed() const {
+    return state_->storage_crashes;
+  }
+  /// Recovery attempts that themselves died on a storage fault and were
+  /// retried.
+  std::uint64_t failed_recoveries() const { return state_->failed_recoveries; }
 
  private:
   struct State {
@@ -58,10 +82,35 @@ class ChurnInjector {
     ChurnConfig config;
     std::uint32_t down_now = 0;
     std::uint64_t crashes = 0;
+    std::uint64_t storage_crashes = 0;
+    std::uint64_t failed_recoveries = 0;
   };
 
   static void arm_crash(const std::shared_ptr<State>& state, ProcessId p);
   static void arm_recover(const std::shared_ptr<State>& state, ProcessId p);
+
+  std::shared_ptr<State> state_;
+};
+
+/// Keeps the group alive under rate-driven storage faults: periodically
+/// recovers any process found down. Pairs with StorageFaultProfile sweeps
+/// (where crashes come from escaping faults at unpredictable times) the way
+/// ChurnInjector pairs with scripted MTBF/MTTR churn. A recovery that itself
+/// dies on a storage fault is simply retried at the next tick.
+class AutoMedic {
+ public:
+  explicit AutoMedic(Simulation& sim, Duration check_interval = millis(100));
+
+  std::uint64_t recoveries() const { return state_->recoveries; }
+
+ private:
+  struct State {
+    Simulation* sim;
+    Duration interval;
+    std::uint64_t recoveries = 0;
+  };
+
+  static void arm(const std::shared_ptr<State>& state);
 
   std::shared_ptr<State> state_;
 };

@@ -9,9 +9,13 @@ namespace abcast::sim {
 
 SimHost::SimHost(Simulation& sim, ProcessId id)
     : sim_(sim), id_(id), rng_(sim.rng().fork()),
-      storage_(sim.config().storage_factory
-                   ? sim.config().storage_factory(id)
-                   : std::make_unique<MemStableStorage>()) {}
+      storage_(std::make_unique<FaultyStorage>(
+          sim.config().storage_factory
+              ? sim.config().storage_factory(id)
+              : std::make_unique<MemStableStorage>(),
+          rng_.fork())) {
+  storage_->set_profile(sim.config().storage_faults);
+}
 
 std::uint32_t SimHost::group_size() const { return sim_.n(); }
 
@@ -27,7 +31,16 @@ TimerId SimHost::schedule_after(Duration delay, std::function<void()> fn) {
       delay, [this, fn = std::move(fn), token_holder]() {
         live_timers_.erase(*token_holder);
         if (node_ == nullptr) return;  // crashed between firing and running
-        fn();
+        try {
+          fn();
+        } catch (const SimulatedCrash&) {
+          crash_from_storage_fault();
+        } catch (const StorageIoError&) {
+          // A log operation that fails leaves the process in an undefined
+          // durable/volatile mix; the paper's model has only one answer:
+          // the process crashes (and recovers from whatever was logged).
+          crash_from_storage_fault();
+        }
       });
   *token_holder = token;
   live_timers_.insert(token);
@@ -45,12 +58,23 @@ void SimHost::send(ProcessId to, const Wire& msg) {
   sim_.transmit(id_, to, msg);
 }
 
-void SimHost::start(const NodeFactory& factory, bool recovering) {
+bool SimHost::start(const NodeFactory& factory, bool recovering) {
   ABCAST_CHECK_MSG(node_ == nullptr, "process already up");
   node_ = factory(*this);
   ABCAST_CHECK(node_ != nullptr);
   if (recovering) stats_.recoveries += 1;
-  node_->start(recovering);
+  try {
+    node_->start(recovering);
+  } catch (const SimulatedCrash&) {
+    crash_from_storage_fault();
+    if (recovering) stats_.failed_recoveries += 1;
+    return false;
+  } catch (const StorageIoError&) {
+    crash_from_storage_fault();
+    if (recovering) stats_.failed_recoveries += 1;
+    return false;
+  }
+  return true;
 }
 
 void SimHost::crash() {
@@ -63,9 +87,22 @@ void SimHost::crash() {
   stats_.crashes += 1;
 }
 
+void SimHost::crash_from_storage_fault() {
+  // Reached only after the exception fully unwound out of protocol code,
+  // so destroying the stack here is safe.
+  crash();
+  stats_.storage_crashes += 1;
+}
+
 void SimHost::deliver(ProcessId from, const Wire& msg) {
   if (node_ == nullptr) return;  // lost: arrived while down (paper §2.1)
-  node_->on_message(from, msg);
+  try {
+    node_->on_message(from, msg);
+  } catch (const SimulatedCrash&) {
+    crash_from_storage_fault();
+  } catch (const StorageIoError&) {
+    crash_from_storage_fault();
+  }
 }
 
 // ------------------------------------------------------------- Simulation
@@ -101,9 +138,9 @@ void Simulation::start(ProcessId p) {
 
 void Simulation::crash(ProcessId p) { host(p).crash(); }
 
-void Simulation::recover(ProcessId p) {
+bool Simulation::recover(ProcessId p) {
   ABCAST_CHECK_MSG(static_cast<bool>(factory_), "node factory not set");
-  host(p).start(factory_, /*recovering=*/true);
+  return host(p).start(factory_, /*recovering=*/true);
 }
 
 void Simulation::crash_at(TimePoint t, ProcessId p) {

@@ -24,6 +24,7 @@
 #include "common/types.hpp"
 #include "env/env.hpp"
 #include "sim/scheduler.hpp"
+#include "storage/faulty_storage.hpp"
 #include "storage/mem_storage.hpp"
 
 namespace abcast::sim {
@@ -46,8 +47,11 @@ struct SimConfig {
   NetConfig net;
   /// Per-process stable storage; defaults to MemStableStorage. Supply
   /// DiscardStorage for crash-stop baselines or FileStableStorage for
-  /// durability integration tests.
+  /// durability integration tests. Every host's storage is wrapped in a
+  /// FaultyStorage decorator (a passthrough until faults are configured).
   std::function<std::unique_ptr<StableStorage>(ProcessId)> storage_factory;
+  /// RNG-driven storage fault rates applied to every host's decorator.
+  StorageFaultProfile storage_faults;
 };
 
 /// Aggregate network counters for bandwidth-style experiments.
@@ -74,6 +78,11 @@ struct NetStats {
 struct HostStats {
   std::uint64_t crashes = 0;
   std::uint64_t recoveries = 0;
+  /// Crashes caused by a storage fault (armed crash-point or an escaping
+  /// StorageIoError), including those that interrupted a recovery.
+  std::uint64_t storage_crashes = 0;
+  /// Recovery attempts that themselves died on a storage fault.
+  std::uint64_t failed_recoveries = 0;
 };
 
 class Simulation;
@@ -96,17 +105,32 @@ class SimHost final : public Env {
   bool is_up() const { return node_ != nullptr; }
   const HostStats& stats() const { return stats_; }
 
+  /// The fault-injection decorator every storage op flows through; arm
+  /// crash-points / set per-host profiles here.
+  FaultyStorage& faulty_storage() { return *storage_; }
+
+  /// The undecorated backend (e.g. the MemStableStorage whose per-scope
+  /// counters the harness reads).
+  StableStorage& raw_storage() { return storage_->inner(); }
+
+  /// Converts a SimulatedCrash/StorageIoError that escaped into HARNESS
+  /// code (e.g. a test calling broadcast() on a host with an armed
+  /// crash-point) into the usual storage-fault crash.
+  void crash_from_storage_fault();
+
  private:
   friend class Simulation;
 
-  void start(const NodeFactory& factory, bool recovering);
+  /// Returns false when the start/recovery itself died on a storage fault
+  /// (the host stays down; stable storage keeps whatever was written).
+  bool start(const NodeFactory& factory, bool recovering);
   void crash();
   void deliver(ProcessId from, const Wire& msg);
 
   Simulation& sim_;
   ProcessId id_;
   Rng rng_;
-  std::unique_ptr<StableStorage> storage_;
+  std::unique_ptr<FaultyStorage> storage_;
   std::unique_ptr<NodeApp> node_;
   std::set<Scheduler::Token> live_timers_;
   HostStats stats_;
@@ -135,11 +159,26 @@ class Simulation {
   void crash(ProcessId p);
 
   /// Recovers `p` now: a fresh protocol stack is built over the surviving
-  /// stable storage and started with recovering = true.
-  void recover(ProcessId p);
+  /// stable storage and started with recovering = true. Returns false when
+  /// the recovery itself crashed on a storage fault (the host stays down;
+  /// retry later — the paper's model allows a process to crash during its
+  /// own recovery procedure).
+  bool recover(ProcessId p);
 
   void crash_at(TimePoint t, ProcessId p);
   void recover_at(TimePoint t, ProcessId p);
+
+  /// Arms a crash-point on `p`'s storage: the process crashes at its
+  /// `op_index`-th storage operation (lifetime count), in the given phase.
+  void crash_at_storage_op(ProcessId p, std::uint64_t op_index,
+                           CrashPhase phase) {
+    host(p).faulty_storage().arm_crash_at_op(op_index, phase);
+  }
+
+  /// Per-host fault-injection decorator (arm crash-points, set profiles).
+  FaultyStorage& storage_faults(ProcessId p) {
+    return host(p).faulty_storage();
+  }
 
   /// Administratively blocks/unblocks the directed link from `a` to `b`.
   void block_link(ProcessId a, ProcessId b);

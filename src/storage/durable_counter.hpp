@@ -1,0 +1,109 @@
+// Torn-write-resilient monotone counter over two alternating slots.
+//
+// Epoch/incarnation counters are the one piece of durable state whose loss
+// is silently catastrophic: a reused incarnation number reuses message ids,
+// and the vector-clock duplicate suppression will then *drop fresh
+// messages*, violating Validity. A single-record counter is exposed to
+// exactly that failure when a torn put destroys the previous value.
+//
+// DurableCounter writes each new value to the slot NOT holding the current
+// maximum, so any single torn/corrupt write can only lose the value being
+// written — the surviving slot still holds the last acknowledged one and
+// the next bump moves strictly past it. Both slots corrupt (two independent
+// media faults) is the only losing case.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/codec.hpp"
+#include "env/stable_storage.hpp"
+#include "storage/sealed_record.hpp"
+
+namespace abcast {
+
+class DurableCounter {
+ public:
+  /// Operates on keys `<key>.a` / `<key>.b` of `storage` (which must
+  /// outlive this object).
+  DurableCounter(StableStorage& storage, std::string key)
+      : storage_(storage), key_a_(key + ".a"), key_b_(key + ".b") {}
+
+  /// Highest durably recorded value, 0 if none (or all slots damaged).
+  std::uint64_t load() {
+    bool a_valid = false;
+    const std::uint64_t a = read_slot(key_a_, a_valid);
+    bool b_valid = false;
+    const std::uint64_t b = read_slot(key_b_, b_valid);
+    corrupt_slots_ = (a_valid ? 0u : 1u) + (b_valid ? 0u : 1u);
+    write_to_a_ = !a_valid || (b_valid && b >= a);
+    return std::max(a_valid ? a : 0, b_valid ? b : 0);
+  }
+
+  /// Durably records `load() + 1` (one put) and returns it.
+  std::uint64_t bump() { return store(load() + 1); }
+
+  /// Durably records `v` in the alternate slot (one put after the embedded
+  /// load()). `v` must be monotone — a torn write then loses at most this
+  /// advance, never the previously recorded value.
+  ///
+  /// The write is VERIFIED by reading the slot back, and retried if the
+  /// readback fails the seal: a storage layer that lies about durability
+  /// (put "succeeds" but stores a torn record) would otherwise let the
+  /// caller act on `v` while the medium still resolves to the previous
+  /// value — for an epoch counter that is a reused incarnation after the
+  /// next crash. Bounded retries: a disk that lies every time is beyond
+  /// any counter scheme.
+  std::uint64_t store(std::uint64_t v) {
+    load();  // refresh the slot choice against the current media state
+    BufWriter w;
+    w.u64(v);
+    const Bytes record = seal_record(w.data());
+    const std::string& key = write_to_a_ ? key_a_ : key_b_;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      storage_.put(key, record);
+      bool valid = false;
+      if (read_slot(key, valid) == v && valid) break;
+    }
+    return v;
+  }
+
+  /// Slots found damaged by the last load()/bump() (0, 1, or 2).
+  std::uint32_t corrupt_slots() const { return corrupt_slots_; }
+
+ private:
+  std::uint64_t read_slot(const std::string& key, bool& valid) {
+    // A failed seal is re-read once: non-sticky read rot (the medium is
+    // intact, only the returned copy was damaged) vanishes on retry, while
+    // a genuinely torn record fails both times. Without the retry a single
+    // transient flip on the max slot would silently fall back to the older
+    // slot — for an epoch counter that means a REUSED incarnation.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      valid = false;
+      auto rec = storage_.get(key);
+      if (!rec) {
+        valid = true;  // absent is a clean state, not damage
+        return 0;
+      }
+      auto payload = unseal_record(*rec);
+      if (!payload) continue;
+      try {
+        BufReader r(*payload);
+        const std::uint64_t v = r.u64();
+        r.expect_done();
+        valid = true;
+        return v;
+      } catch (const CodecError&) {
+      }
+    }
+    return 0;
+  }
+
+  StableStorage& storage_;
+  std::string key_a_;
+  std::string key_b_;
+  bool write_to_a_ = true;
+  std::uint32_t corrupt_slots_ = 0;
+};
+
+}  // namespace abcast

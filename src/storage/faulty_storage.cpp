@@ -1,0 +1,142 @@
+#include "storage/faulty_storage.hpp"
+
+#include <string>
+
+namespace abcast {
+
+FaultyStorage::FaultyStorage(std::unique_ptr<StableStorage> inner, Rng rng)
+    : inner_(std::move(inner)), rng_(std::move(rng)) {}
+
+void FaultyStorage::arm_crash_at_op(std::uint64_t op_index, CrashPhase phase) {
+  crash_at_op_ = op_index;
+  crash_phase_ = phase;
+}
+
+void FaultyStorage::arm_crash_in(std::uint64_t ops_from_now,
+                                 CrashPhase phase) {
+  arm_crash_at_op(op_count() + (ops_from_now == 0 ? 1 : ops_from_now), phase);
+}
+
+void FaultyStorage::disarm_crash_point() { crash_at_op_ = 0; }
+
+std::uint64_t FaultyStorage::begin_op() {
+  fault_stats_.total_ops += 1;
+  return fault_stats_.total_ops;
+}
+
+void FaultyStorage::fire_crash_point(std::uint64_t op_index) {
+  disarm_crash_point();  // one-shot: recovery must not re-crash at this op
+  fault_stats_.crash_points_fired += 1;
+  throw SimulatedCrash{op_index};
+}
+
+void FaultyStorage::tear_put(std::string_view key, const Bytes& value) {
+  fault_stats_.torn_puts += 1;
+  switch (rng_.uniform(0, 3)) {
+    case 0:
+      // Old value kept: an atomic backend (write-then-rename) crashed
+      // before the rename. The medium is untouched.
+      return;
+    case 1:
+      inner_->put(key, Bytes{});
+      return;
+    case 2: {
+      // Strict truncated prefix (possibly empty when the record is tiny).
+      const auto cut =
+          value.empty()
+              ? std::size_t{0}
+              : static_cast<std::size_t>(rng_.uniform(
+                    0, static_cast<std::int64_t>(value.size()) - 1));
+      inner_->put(key, Bytes(value.begin(),
+                             value.begin() + static_cast<std::ptrdiff_t>(cut)));
+      return;
+    }
+    default: {
+      // Full length, one flipped bit.
+      Bytes damaged = value;
+      if (damaged.empty()) damaged.push_back(0xFF);
+      const auto byte = static_cast<std::size_t>(
+          rng_.uniform(0, static_cast<std::int64_t>(damaged.size()) - 1));
+      damaged[byte] ^= static_cast<std::uint8_t>(1u << rng_.uniform(0, 7));
+      inner_->put(key, damaged);
+      return;
+    }
+  }
+}
+
+void FaultyStorage::put(std::string_view key, const Bytes& value) {
+  const std::uint64_t op = begin_op();
+  if (crash_due(op)) {
+    switch (crash_phase_) {
+      case CrashPhase::kBeforeOp:
+        fire_crash_point(op);
+      case CrashPhase::kTornWrite:
+        tear_put(key, value);
+        fire_crash_point(op);
+      case CrashPhase::kAfterOp:
+        inner_->put(key, value);
+        fire_crash_point(op);
+    }
+  }
+  if (profile_.disk_full_after_bytes != 0) {
+    bytes_budget_used_ += key.size() + value.size();
+    if (bytes_budget_used_ > profile_.disk_full_after_bytes) {
+      fault_stats_.disk_full_failures += 1;
+      throw StorageIoError("disk full (injected) writing " + std::string(key));
+    }
+  }
+  if (rng_.chance(profile_.put_io_error_prob)) {
+    fault_stats_.io_errors += 1;
+    throw StorageIoError("put failed (injected) for " + std::string(key));
+  }
+  if (rng_.chance(profile_.silent_torn_put_prob)) {
+    tear_put(key, value);
+    return;  // the caller believes the write completed
+  }
+  inner_->put(key, value);
+}
+
+std::optional<Bytes> FaultyStorage::get(std::string_view key) {
+  const std::uint64_t op = begin_op();
+  if (crash_due(op)) {
+    // Reads have no torn phase; kAfterOp still crashes before the caller
+    // can use the value, so every phase reduces to "crash at this read".
+    fire_crash_point(op);
+  }
+  if (rng_.chance(profile_.get_io_error_prob)) {
+    fault_stats_.io_errors += 1;
+    throw StorageIoError("get failed (injected) for " + std::string(key));
+  }
+  auto value = inner_->get(key);
+  if (value && !value->empty() && rng_.chance(profile_.read_bit_flip_prob)) {
+    fault_stats_.bit_flips += 1;
+    const auto byte = static_cast<std::size_t>(
+        rng_.uniform(0, static_cast<std::int64_t>(value->size()) - 1));
+    (*value)[byte] ^= static_cast<std::uint8_t>(1u << rng_.uniform(0, 7));
+  }
+  return value;
+}
+
+void FaultyStorage::erase(std::string_view key) {
+  const std::uint64_t op = begin_op();
+  if (crash_due(op)) {
+    if (crash_phase_ == CrashPhase::kAfterOp) inner_->erase(key);
+    fire_crash_point(op);
+  }
+  if (rng_.chance(profile_.erase_io_error_prob)) {
+    fault_stats_.io_errors += 1;
+    throw StorageIoError("erase failed (injected) for " + std::string(key));
+  }
+  inner_->erase(key);
+}
+
+std::vector<std::string> FaultyStorage::keys_with_prefix(
+    std::string_view prefix) {
+  return inner_->keys_with_prefix(prefix);
+}
+
+std::uint64_t FaultyStorage::footprint_bytes() {
+  return inner_->footprint_bytes();
+}
+
+}  // namespace abcast

@@ -1,0 +1,143 @@
+// Storage fault injection: the decorator that makes the crash-recovery
+// window around each `log` operation testable.
+//
+// Wraps any StableStorage and, under scripted crash-points or RNG-driven
+// rates, produces the realistic failures a naive durability assumption
+// misses:
+//
+//   * crash-points — the process crashes AT its k-th storage operation,
+//     in one of three phases: before the write touched the medium, mid-way
+//     through a torn write, or after the write completed but before the
+//     caller's next instruction ran. Realized by throwing SimulatedCrash,
+//     which the simulated host catches and converts into a process crash.
+//   * torn puts — the key is left holding the old value, an empty value, a
+//     truncated prefix, or a bit-flipped copy of the new record;
+//   * clean I/O errors — the operation throws StorageIoError and the medium
+//     is untouched;
+//   * silent write corruption — the put "succeeds" but stores a torn
+//     record (firmware that lies about durability);
+//   * bit rot — get() returns the record with one flipped bit;
+//   * disk-full — puts beyond a byte budget fail with StorageIoError.
+//
+// The decorator sits between the protocol's ScopedStorage views and the
+// real backend, so every layer's records are exposed to every fault.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "env/stable_storage.hpp"
+
+namespace abcast {
+
+/// Thrown by an armed crash-point. Deliberately NOT derived from
+/// std::exception so generic handlers cannot swallow it: only the simulated
+/// host (or a harness that knows what it is doing) may catch it and crash
+/// the process.
+struct SimulatedCrash {
+  std::uint64_t op_index = 0;  // the storage operation that was executing
+};
+
+/// Where, relative to the targeted storage operation, the crash lands.
+enum class CrashPhase : std::uint8_t {
+  kBeforeOp,   // medium untouched (crash before write / before rename)
+  kTornWrite,  // put half-applied: old, empty, truncated, or corrupt value
+  kAfterOp,    // operation fully applied, caller never saw it return
+};
+
+/// RNG-driven fault rates; all default to "no faults".
+struct StorageFaultProfile {
+  double put_io_error_prob = 0.0;
+  double get_io_error_prob = 0.0;
+  double erase_io_error_prob = 0.0;
+  /// put claims success but the stored record is torn (empty / truncated /
+  /// bit-flipped); detected only when someone reads it back.
+  double silent_torn_put_prob = 0.0;
+  /// get returns the record with one flipped bit (non-sticky rot: the
+  /// stored bytes are unchanged, the returned copy is damaged).
+  double read_bit_flip_prob = 0.0;
+  /// Once cumulative payload bytes written exceed this budget, every
+  /// further put fails with StorageIoError. 0 means unlimited.
+  std::uint64_t disk_full_after_bytes = 0;
+
+  bool any() const {
+    return put_io_error_prob > 0 || get_io_error_prob > 0 ||
+           erase_io_error_prob > 0 || silent_torn_put_prob > 0 ||
+           read_bit_flip_prob > 0 || disk_full_after_bytes > 0;
+  }
+};
+
+struct StorageFaultStats {
+  std::uint64_t total_ops = 0;  // attempts, including failed ones
+  std::uint64_t io_errors = 0;
+  std::uint64_t torn_puts = 0;       // silent + crash-point torn writes
+  std::uint64_t bit_flips = 0;
+  std::uint64_t disk_full_failures = 0;
+  std::uint64_t crash_points_fired = 0;
+};
+
+class FaultyStorage final : public StableStorage {
+ public:
+  /// Takes ownership of the backend. `rng` drives all randomized faults;
+  /// fork it from the host's stream for determinism.
+  FaultyStorage(std::unique_ptr<StableStorage> inner, Rng rng);
+
+  void set_profile(const StorageFaultProfile& profile) { profile_ = profile; }
+  const StorageFaultProfile& profile() const { return profile_; }
+
+  /// The wrapped backend, for harness inspection (e.g. per-scope stats of a
+  /// MemStableStorage) and for corrupting records behind the decorator.
+  StableStorage& inner() { return *inner_; }
+
+  // ---- crash-points ------------------------------------------------------
+  /// Arms a crash at the `op_index`-th operation of this storage's lifetime
+  /// (1-based, counted across process incarnations — the counter survives
+  /// crashes because the storage does). Only one crash-point is armed at a
+  /// time; re-arming replaces the previous one.
+  void arm_crash_at_op(std::uint64_t op_index, CrashPhase phase);
+
+  /// Arms a crash `ops_from_now` operations in the future (1 = the very
+  /// next operation).
+  void arm_crash_in(std::uint64_t ops_from_now, CrashPhase phase);
+
+  void disarm_crash_point();
+  bool crash_point_armed() const { return crash_at_op_ != 0; }
+
+  /// Operations attempted so far (the crash-point counter's clock).
+  std::uint64_t op_count() const { return fault_stats_.total_ops; }
+
+  const StorageFaultStats& fault_stats() const { return fault_stats_; }
+
+  // ---- StableStorage -----------------------------------------------------
+  void put(std::string_view key, const Bytes& value) override;
+  std::optional<Bytes> get(std::string_view key) override;
+  void erase(std::string_view key) override;
+  std::vector<std::string> keys_with_prefix(std::string_view prefix) override;
+  std::uint64_t footprint_bytes() override;
+  /// Per-contract operation counters as seen by the caller; failed
+  /// operations are not counted (they never "happened").
+  const StorageStats& stats() const override { return inner_->stats(); }
+
+ private:
+  /// Counts the op; fires the crash-point when due in kBeforeOp phase.
+  /// Returns the op's index.
+  std::uint64_t begin_op();
+  bool crash_due(std::uint64_t op_index) const {
+    return crash_at_op_ != 0 && op_index >= crash_at_op_;
+  }
+  [[noreturn]] void fire_crash_point(std::uint64_t op_index);
+  /// Writes a torn version of (key, value) to the backend: one of old kept
+  /// (no-op), empty, truncated prefix, or single-bit-flipped copy.
+  void tear_put(std::string_view key, const Bytes& value);
+
+  std::unique_ptr<StableStorage> inner_;
+  Rng rng_;
+  StorageFaultProfile profile_;
+  StorageFaultStats fault_stats_;
+  std::uint64_t bytes_budget_used_ = 0;
+  std::uint64_t crash_at_op_ = 0;  // 0 = disarmed
+  CrashPhase crash_phase_ = CrashPhase::kBeforeOp;
+};
+
+}  // namespace abcast

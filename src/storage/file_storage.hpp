@@ -15,14 +15,6 @@
 
 namespace abcast {
 
-/// Thrown on unrecoverable I/O errors (directory not writable, rename
-/// failure). Corrupted *records* are not errors — they read as absent.
-class StorageIoError : public std::runtime_error {
- public:
-  explicit StorageIoError(const std::string& what)
-      : std::runtime_error(what) {}
-};
-
 class FileStableStorage final : public StableStorage {
  public:
   /// Opens (creating if needed) the storage rooted at `dir`. Leftover

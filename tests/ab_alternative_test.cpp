@@ -265,7 +265,7 @@ TEST(AbIncremental, WritesFarFewerBytesThanWholeSetLogging) {
     c.sim().partition({0});
     for (int i = 0; i < 50; ++i) c.broadcast(0, Bytes(100, 'x'));
     c.sim().run_for(millis(100));
-    auto* mem = dynamic_cast<MemStableStorage*>(&c.sim().host(0).storage());
+    auto* mem = dynamic_cast<MemStableStorage*>(&c.sim().host(0).raw_storage());
     return mem->scope_stats("ab").bytes_written;
   };
   const auto full = bytes_written(false);
@@ -300,7 +300,7 @@ TEST(AbIncremental, ItemRecordsAreErasedOnceOrdered) {
   auto ids = c.broadcast_many(0, 5);
   ASSERT_TRUE(c.await_delivery(ids));
   c.sim().run_for(seconds(1));
-  auto* mem = dynamic_cast<MemStableStorage*>(&c.sim().host(0).storage());
+  auto* mem = dynamic_cast<MemStableStorage*>(&c.sim().host(0).raw_storage());
   EXPECT_TRUE(mem->keys_with_prefix("ab/u/").empty());
 }
 

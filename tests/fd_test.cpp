@@ -138,7 +138,7 @@ TEST(Fd, WrongSuspicionGrowsTimeout) {
 
 TEST(Fd, OneLogOperationPerIncarnation) {
   FdCluster c({.n = 1, .seed = 1});
-  auto* mem = dynamic_cast<MemStableStorage*>(&c.sim.host(0).storage());
+  auto* mem = dynamic_cast<MemStableStorage*>(&c.sim.host(0).raw_storage());
   ASSERT_NE(mem, nullptr);
   EXPECT_EQ(mem->scope_stats("fd").put_ops, 1u);
   c.sim.run_for(seconds(5));
@@ -212,7 +212,7 @@ TEST(SuspectFd, PerformsZeroLogOperations) {
   c.sim.crash(1);
   c.sim.recover(1);
   c.sim.run_for(seconds(1));
-  auto* mem = dynamic_cast<MemStableStorage*>(&c.sim.host(1).storage());
+  auto* mem = dynamic_cast<MemStableStorage*>(&c.sim.host(1).raw_storage());
   ASSERT_NE(mem, nullptr);
   EXPECT_EQ(mem->scope_stats("fd").put_ops, 0u);
 }

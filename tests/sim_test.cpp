@@ -380,3 +380,165 @@ TEST(SimNetwork, PerTypeAccountingAttributesTraffic) {
   EXPECT_EQ(net.sent_of(MsgType::kAbState), 0u);
   EXPECT_EQ(net.bytes_by_type.at(MsgType::kFdHeartbeat), 3 + 2u);
 }
+
+// ------------------------------------------------- Storage fault injection
+
+namespace {
+
+/// NodeApp that writes to stable storage on start and then periodically,
+/// so storage crash-points have log operations to land on.
+class ScribblerNode final : public NodeApp {
+ public:
+  explicit ScribblerNode(Env& env) : env_(env) {}
+
+  void start(bool) override {
+    env_.storage().put("boot", Bytes{1});
+    tick();
+  }
+  void on_message(ProcessId, const Wire&) override {}
+
+ private:
+  void tick() {
+    seq_ += 1;
+    env_.storage().put("rec", Bytes{static_cast<std::uint8_t>(seq_ & 0xFF)});
+    env_.schedule_after(millis(5), [this] { tick(); });
+  }
+
+  Env& env_;
+  std::uint64_t seq_ = 0;
+};
+
+struct ScribblerCluster {
+  explicit ScribblerCluster(SimConfig cfg) : sim(cfg) {
+    sim.set_node_factory(
+        [](Env& env) { return std::make_unique<ScribblerNode>(env); });
+  }
+  Simulation sim;
+};
+
+}  // namespace
+
+TEST(StorageFaults, CrashPointConvertsToHostCrash) {
+  ScribblerCluster c({.n = 3, .seed = 5});
+  auto& sim = c.sim;
+  sim.start_all();
+  sim.run_for(millis(20));
+  sim.crash_at_storage_op(1, sim.storage_faults(1).op_count() + 2,
+                          CrashPhase::kTornWrite);
+  sim.run_for(millis(50));
+  EXPECT_FALSE(sim.host(1).is_up());
+  EXPECT_EQ(sim.host(1).stats().crashes, 1u);
+  EXPECT_EQ(sim.host(1).stats().storage_crashes, 1u);
+  EXPECT_EQ(sim.storage_faults(1).fault_stats().crash_points_fired, 1u);
+  // Crash-points are one-shot: recovery replays the op and survives.
+  EXPECT_TRUE(sim.recover(1));
+  sim.run_for(millis(50));
+  EXPECT_TRUE(sim.host(1).is_up());
+}
+
+TEST(StorageFaults, FaultScriptArmsCrashAtStorageOp) {
+  ScribblerCluster c({.n = 2, .seed = 6});
+  auto& sim = c.sim;
+  sim.start_all();
+  install_fault_script(sim, {{millis(10), 0, FaultKind::kCrashAtStorageOp,
+                              /*op_index=*/3, CrashPhase::kAfterOp}});
+  sim.run_until(millis(9));
+  EXPECT_TRUE(sim.host(0).is_up());
+  sim.run_until(millis(60));
+  EXPECT_FALSE(sim.host(0).is_up());
+  EXPECT_EQ(sim.host(0).stats().storage_crashes, 1u);
+}
+
+TEST(StorageFaults, RecoveryItselfCanDieOnStorageFault) {
+  ScribblerCluster c({.n = 2, .seed = 7});
+  auto& sim = c.sim;
+  sim.start_all();
+  sim.crash(0);
+  // start(recovering) writes "boot" as its first log op — arm a crash there.
+  sim.storage_faults(0).arm_crash_in(1, CrashPhase::kBeforeOp);
+  EXPECT_FALSE(sim.recover(0));
+  EXPECT_FALSE(sim.host(0).is_up());
+  EXPECT_EQ(sim.host(0).stats().failed_recoveries, 1u);
+  // One-shot crash-point was consumed; the retry succeeds.
+  EXPECT_TRUE(sim.recover(0));
+  EXPECT_TRUE(sim.host(0).is_up());
+}
+
+TEST(StorageFaults, EscapingIoErrorCrashesHostAndAutoMedicRevives) {
+  ScribblerCluster c({.n = 3, .seed = 8});
+  auto& sim = c.sim;
+  StorageFaultProfile profile;
+  profile.put_io_error_prob = 0.05;
+  sim.start_all();
+  for (ProcessId p = 0; p < 3; ++p) sim.storage_faults(p).set_profile(profile);
+  AutoMedic medic(sim, millis(50));
+  sim.run_for(seconds(10));
+  std::uint64_t storage_crashes = 0;
+  for (ProcessId p = 0; p < 3; ++p) {
+    storage_crashes += sim.host(p).stats().storage_crashes;
+  }
+  EXPECT_GT(storage_crashes, 10u);  // faults escaped and killed hosts
+  EXPECT_GT(medic.recoveries(), 10u);
+  // Stop injecting, let the medic bring everyone back up.
+  for (ProcessId p = 0; p < 3; ++p) {
+    sim.storage_faults(p).set_profile(StorageFaultProfile{});
+  }
+  sim.run_for(seconds(1));
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_TRUE(sim.host(p).is_up());
+}
+
+TEST(Churn, StorageCrashModeLandsCrashesInsideTheLogWindow) {
+  ScribblerCluster c({.n = 3, .seed = 11});
+  auto& sim = c.sim;
+  sim.start_all();
+  ChurnConfig cc;
+  cc.mtbf = millis(100);
+  cc.mttr = millis(50);
+  cc.stop = seconds(10);
+  cc.storage_crash_prob = 1.0;  // every churn crash is a storage crash-point
+  ChurnInjector churn(sim, cc);
+  sim.run_until(seconds(11));
+  EXPECT_GT(churn.crashes_injected(), 20u);
+  EXPECT_EQ(churn.storage_crashes_armed(), churn.crashes_injected());
+  std::uint64_t fired = 0;
+  for (ProcessId p = 0; p < 3; ++p) {
+    fired += sim.storage_faults(p).fault_stats().crash_points_fired;
+  }
+  EXPECT_GT(fired, 0u);  // scribblers log constantly, so points do fire
+  for (ProcessId p = 0; p < 3; ++p) {
+    if (!sim.host(p).is_up()) {
+      EXPECT_TRUE(sim.recover(p));
+    }
+  }
+}
+
+TEST(Churn, StrictMinorityDownAtEveryInstant) {
+  // max_down = 0 means "strict minority down" — the Consensus liveness
+  // precondition. Verify it at EVERY simulation event, not just at sample
+  // points, across several long randomized runs mixing plain and
+  // storage-crash churn.
+  for (const std::uint64_t seed : {101u, 202u, 303u, 404u, 505u}) {
+    for (const std::uint32_t n : {4u, 5u}) {
+      ScribblerCluster c({.n = n, .seed = seed});
+      auto& sim = c.sim;
+      sim.start_all();
+      ChurnConfig cc;
+      cc.mtbf = millis(60);
+      cc.mttr = millis(120);  // slow repairs stress the guard
+      cc.stop = seconds(8);
+      cc.storage_crash_prob = 0.5;
+      ChurnInjector churn(sim, cc);
+      const std::uint32_t majority = n / 2 + 1;
+      std::uint64_t events = 0;
+      while (sim.now() < seconds(9) && sim.step()) {
+        events += 1;
+        std::uint32_t up = 0;
+        for (ProcessId p = 0; p < n; ++p) up += sim.host(p).is_up() ? 1u : 0u;
+        ASSERT_GE(up, majority)
+            << "seed " << seed << " n " << n << " at t=" << sim.now();
+      }
+      EXPECT_GT(churn.crashes_injected(), 20u) << "seed " << seed;
+      EXPECT_GT(events, 1000u);
+    }
+  }
+}

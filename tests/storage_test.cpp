@@ -6,9 +6,12 @@
 #include <fstream>
 
 #include "storage/discard_storage.hpp"
+#include "storage/durable_counter.hpp"
+#include "storage/faulty_storage.hpp"
 #include "storage/file_storage.hpp"
 #include "storage/mem_storage.hpp"
 #include "storage/scoped_storage.hpp"
+#include "storage/sealed_record.hpp"
 
 using namespace abcast;
 namespace fs = std::filesystem;
@@ -281,4 +284,286 @@ TEST(DiscardStorage, StoresNothingButCounts) {
   EXPECT_EQ(s.footprint_bytes(), 0u);
   EXPECT_EQ(s.stats().put_ops, 1u);
   EXPECT_EQ(s.stats().bytes_written, 2u);
+}
+
+// ------------------------------------------- FileStorage corruption paths
+
+TEST(FileStorage, DetectsBadMagic) {
+  TempDir dir;
+  FileStableStorage s(dir.path());
+  s.put("victim", bytes_of("payload"));
+  fs::path file;
+  for (const auto& e : fs::directory_iterator(dir.path())) file = e.path();
+  {
+    // Stomp the 4-byte magic at the head of the record.
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.write("????", 4);
+  }
+  FileStableStorage s2(dir.path());
+  EXPECT_FALSE(s2.get("victim").has_value());
+  EXPECT_EQ(s2.corrupt_records(), 1u);
+}
+
+TEST(FileStorage, DetectsBadCrcTrailer) {
+  TempDir dir;
+  FileStableStorage s(dir.path());
+  s.put("victim", bytes_of("payload"));
+  fs::path file;
+  for (const auto& e : fs::directory_iterator(dir.path())) file = e.path();
+  {
+    // Flip a bit in the trailing CRC itself — content intact, seal broken.
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(-1, std::ios::end);
+    char c;
+    f.get(c);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(c ^ 0x01));
+  }
+  FileStableStorage s2(dir.path());
+  EXPECT_FALSE(s2.get("victim").has_value());
+  EXPECT_EQ(s2.corrupt_records(), 1u);
+}
+
+TEST(FileStorage, StaleTmpFromCrashBeforeRenameLosesToOldValue) {
+  // A crash between writing <key>.<n>.tmp and the rename must leave the old
+  // record in force, even though the tmp file holds a fully valid record of
+  // the NEW value.
+  TempDir dir;
+  {
+    FileStableStorage s(dir.path());
+    s.put("k", bytes_of("new-value"));
+    // Capture a valid record of the new value as a stray tmp...
+    fs::copy_file(dir.path() / "k", dir.path() / "k.7.tmp");
+    // ...and restore the old value as the live record.
+    s.put("k", bytes_of("old-value"));
+  }
+  FileStableStorage s2(dir.path());
+  EXPECT_EQ(s2.get("k"), bytes_of("old-value"));
+  for (const auto& e : fs::directory_iterator(dir.path())) {
+    EXPECT_NE(e.path().extension(), ".tmp") << e.path();
+  }
+}
+
+// ------------------------------------------------------------ SealedRecord
+
+TEST(SealedRecord, RoundTripsIncludingEmptyPayload) {
+  for (const auto& payload : {bytes_of(""), bytes_of("x"), Bytes(300, 0xAB)}) {
+    const Bytes sealed = seal_record(payload);
+    EXPECT_EQ(sealed.size(), payload.size() + 4);
+    const auto back = unseal_record(sealed);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, payload);
+  }
+}
+
+TEST(SealedRecord, RejectsAnySingleBitFlip) {
+  const Bytes sealed = seal_record(bytes_of("consensus decision"));
+  for (std::size_t byte = 0; byte < sealed.size(); ++byte) {
+    Bytes damaged = sealed;
+    damaged[byte] ^= 0x04;
+    EXPECT_FALSE(unseal_record(damaged).has_value()) << "byte " << byte;
+  }
+}
+
+TEST(SealedRecord, RejectsTruncation) {
+  const Bytes sealed = seal_record(bytes_of("abc"));
+  for (std::size_t len = 0; len < sealed.size(); ++len) {
+    EXPECT_FALSE(
+        unseal_record(Bytes(sealed.begin(),
+                            sealed.begin() + static_cast<std::ptrdiff_t>(len)))
+            .has_value())
+        << "length " << len;
+  }
+}
+
+// ------------------------------------------------------------ FaultyStorage
+
+namespace {
+
+FaultyStorage make_faulty(std::uint64_t seed = 7) {
+  return FaultyStorage(std::make_unique<MemStableStorage>(), Rng(seed));
+}
+
+}  // namespace
+
+TEST(FaultyStorage, PassesThroughWithNoFaultsConfigured) {
+  auto s = make_faulty();
+  s.put("a", bytes_of("one"));
+  s.put("b", bytes_of("two"));
+  EXPECT_EQ(s.get("a"), bytes_of("one"));
+  s.erase("a");
+  EXPECT_FALSE(s.get("a").has_value());
+  EXPECT_EQ(s.keys_with_prefix(""), std::vector<std::string>{"b"});
+  EXPECT_EQ(s.fault_stats().io_errors, 0u);
+  EXPECT_EQ(s.fault_stats().total_ops, 5u);
+}
+
+TEST(FaultyStorage, PutIoErrorLeavesMediumUntouched) {
+  auto s = make_faulty();
+  s.put("k", bytes_of("intact"));
+  StorageFaultProfile p;
+  p.put_io_error_prob = 1.0;
+  s.set_profile(p);
+  EXPECT_THROW(s.put("k", bytes_of("clobber")), StorageIoError);
+  s.set_profile(StorageFaultProfile{});
+  EXPECT_EQ(s.get("k"), bytes_of("intact"));
+  EXPECT_EQ(s.fault_stats().io_errors, 1u);
+}
+
+TEST(FaultyStorage, DiskFullBudgetFailsFurtherPuts) {
+  auto s = make_faulty();
+  StorageFaultProfile p;
+  p.disk_full_after_bytes = 32;
+  s.set_profile(p);
+  s.put("a", Bytes(16, 'x'));                            // within budget
+  EXPECT_THROW(s.put("b", Bytes(64, 'y')), StorageIoError);  // over budget
+  EXPECT_EQ(s.fault_stats().disk_full_failures, 1u);
+  EXPECT_EQ(s.get("a"), Bytes(16, 'x'));
+  EXPECT_FALSE(s.get("b").has_value());
+}
+
+TEST(FaultyStorage, SilentTornPutDamagesStoredRecord) {
+  auto s = make_faulty(21);
+  StorageFaultProfile p;
+  p.silent_torn_put_prob = 1.0;
+  s.set_profile(p);
+  const Bytes value = seal_record(Bytes(64, 0x5A));
+  s.put("k", value);  // claims success
+  s.set_profile(StorageFaultProfile{});
+  const auto stored = s.get("k");
+  // Every tear mode (old kept = absent here, empty, prefix, bit flip)
+  // yields something != the written record, and the seal catches it.
+  EXPECT_NE(stored, std::optional<Bytes>(value));
+  if (stored) {
+    EXPECT_FALSE(unseal_record(*stored).has_value());
+  }
+  EXPECT_EQ(s.fault_stats().torn_puts, 1u);
+}
+
+TEST(FaultyStorage, ReadBitFlipDamagesCopyNotMedium) {
+  auto s = make_faulty();
+  const Bytes value = Bytes(32, 0x11);
+  s.put("k", value);
+  StorageFaultProfile p;
+  p.read_bit_flip_prob = 1.0;
+  s.set_profile(p);
+  const auto rotten = s.get("k");
+  ASSERT_TRUE(rotten.has_value());
+  EXPECT_NE(*rotten, value);
+  EXPECT_EQ(s.fault_stats().bit_flips, 1u);
+  s.set_profile(StorageFaultProfile{});
+  EXPECT_EQ(s.get("k"), value);  // the stored bytes were never modified
+}
+
+TEST(FaultyStorage, CrashPointBeforeOpLeavesMediumUntouched) {
+  auto s = make_faulty();
+  s.arm_crash_in(1, CrashPhase::kBeforeOp);
+  EXPECT_THROW(s.put("k", bytes_of("v")), SimulatedCrash);
+  EXPECT_FALSE(s.inner().get("k").has_value());
+  EXPECT_EQ(s.fault_stats().crash_points_fired, 1u);
+}
+
+TEST(FaultyStorage, CrashPointTornWriteLeavesDamagedRecord) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto s = make_faulty(seed);
+    const Bytes value = seal_record(Bytes(48, 0x3C));
+    s.arm_crash_in(1, CrashPhase::kTornWrite);
+    EXPECT_THROW(s.put("k", value), SimulatedCrash);
+    const auto stored = s.inner().get("k");
+    EXPECT_NE(stored, std::optional<Bytes>(value)) << "seed " << seed;
+    if (stored) {
+      EXPECT_FALSE(unseal_record(*stored).has_value());
+    }
+  }
+}
+
+TEST(FaultyStorage, CrashPointAfterOpAppliesTheWrite) {
+  auto s = make_faulty();
+  s.arm_crash_in(1, CrashPhase::kAfterOp);
+  EXPECT_THROW(s.put("k", bytes_of("survived")), SimulatedCrash);
+  EXPECT_EQ(s.inner().get("k"), bytes_of("survived"));
+}
+
+TEST(FaultyStorage, CrashPointWaitsForTheArmedOpIndex) {
+  auto s = make_faulty();
+  s.arm_crash_in(3, CrashPhase::kBeforeOp);
+  s.put("a", bytes_of("1"));
+  s.put("b", bytes_of("2"));
+  EXPECT_TRUE(s.crash_point_armed());
+  EXPECT_THROW(s.get("a"), SimulatedCrash);
+}
+
+TEST(FaultyStorage, CrashPointIsOneShot) {
+  auto s = make_faulty();
+  s.arm_crash_in(1, CrashPhase::kBeforeOp);
+  EXPECT_THROW(s.put("k", bytes_of("v")), SimulatedCrash);
+  EXPECT_FALSE(s.crash_point_armed());
+  // The "recovered" process retries: the op now succeeds.
+  s.put("k", bytes_of("v"));
+  EXPECT_EQ(s.get("k"), bytes_of("v"));
+  EXPECT_EQ(s.fault_stats().crash_points_fired, 1u);
+}
+
+TEST(FaultyStorage, CrashPointOnGetAndErase) {
+  auto s = make_faulty();
+  s.put("k", bytes_of("v"));
+  s.arm_crash_in(1, CrashPhase::kBeforeOp);
+  EXPECT_THROW(s.get("k"), SimulatedCrash);
+  s.arm_crash_in(1, CrashPhase::kAfterOp);
+  EXPECT_THROW(s.erase("k"), SimulatedCrash);
+  EXPECT_FALSE(s.inner().get("k").has_value());  // kAfterOp: erase applied
+}
+
+// ----------------------------------------------------------- DurableCounter
+
+TEST(DurableCounter, BumpsMonotonicallyAndPersists) {
+  MemStableStorage mem;
+  {
+    DurableCounter c(mem, "epoch");
+    EXPECT_EQ(c.load(), 0u);
+    EXPECT_EQ(c.bump(), 1u);
+    EXPECT_EQ(c.bump(), 2u);
+    EXPECT_EQ(c.bump(), 3u);
+  }
+  DurableCounter reopened(mem, "epoch");
+  EXPECT_EQ(reopened.load(), 3u);
+  EXPECT_EQ(reopened.corrupt_slots(), 0u);
+}
+
+TEST(DurableCounter, SurvivesSingleTornSlot) {
+  MemStableStorage mem;
+  DurableCounter c(mem, "epoch");
+  c.bump();
+  c.bump();
+  c.bump();  // slots now hold 3 and 2; 3 lives in epoch.a
+  mem.put("epoch.a", bytes_of("shredded"));
+  DurableCounter after(mem, "epoch");
+  EXPECT_EQ(after.load(), 2u);
+  EXPECT_EQ(after.corrupt_slots(), 1u);
+  // The next bump moves strictly past the surviving value and repairs the
+  // damaged slot (it is the non-max slot, so it is the write target).
+  EXPECT_EQ(after.bump(), 3u);
+  EXPECT_EQ(after.load(), 3u);
+  EXPECT_EQ(after.corrupt_slots(), 0u);
+}
+
+TEST(DurableCounter, BothSlotsCorruptFallsBackToZero) {
+  MemStableStorage mem;
+  DurableCounter c(mem, "epoch");
+  c.bump();
+  c.bump();
+  mem.put("epoch.a", bytes_of("x"));
+  mem.put("epoch.b", bytes_of("y"));
+  DurableCounter after(mem, "epoch");
+  EXPECT_EQ(after.load(), 0u);
+  EXPECT_EQ(after.corrupt_slots(), 2u);
+  EXPECT_EQ(after.bump(), 1u);
+}
+
+TEST(DurableCounter, StoreIsOneWritePerCall) {
+  MemStableStorage mem;
+  DurableCounter c(mem, "epoch");
+  const auto before = mem.stats().put_ops;
+  c.bump();
+  EXPECT_EQ(mem.stats().put_ops, before + 1);
 }
