@@ -209,6 +209,26 @@ StorageFaultOutcome run_storage_once(double scale, ConsensusKind engine) {
     out.recovery_p50_ms = recovery_ms[recovery_ms.size() / 2];
     out.recovery_max_ms = recovery_ms.back();
   }
+
+  Json row;
+  row.field("experiment", "storage_fault_sweep")
+      .field("engine", to_string(engine))
+      .field("scale", scale, 1)
+      .field("storage_crashes", out.storage_crashes)
+      .field("failed_recoveries", out.failed_recoveries)
+      .field("io_errors", out.io_errors)
+      .field("torn_puts", out.torn_puts)
+      .field("bit_flips", out.bit_flips)
+      .field("crash_points_fired", out.crash_points_fired)
+      .field("corrupt_records_consensus", out.corrupt_cons)
+      .field("corrupt_records_ab", out.corrupt_ab)
+      .field("quarantined_instances", out.quarantined)
+      .field("recovery_p50_ms", out.recovery_p50_ms)
+      .field("recovery_max_ms", out.recovery_max_ms)
+      .field("goodput_per_sec", out.goodput_per_sec)
+      .field("all_delivered", out.all_delivered);
+  with_metrics(row, c);
+  emit_json_row(row);
   return out;
 }
 
@@ -231,27 +251,6 @@ void run_storage_tables() {
              fmt_u64(out.quarantined), Table::num(out.recovery_p50_ms, 1),
              Table::num(out.goodput_per_sec, 1),
              out.all_delivered ? "yes" : "NO"});
-      std::printf(
-          "{\"experiment\":\"storage_fault_sweep\",\"engine\":\"%s\","
-          "\"scale\":%.1f,\"storage_crashes\":%llu,"
-          "\"failed_recoveries\":%llu,\"io_errors\":%llu,"
-          "\"torn_puts\":%llu,\"bit_flips\":%llu,"
-          "\"crash_points_fired\":%llu,\"corrupt_records_consensus\":%llu,"
-          "\"corrupt_records_ab\":%llu,\"quarantined_instances\":%llu,"
-          "\"recovery_p50_ms\":%.2f,\"recovery_max_ms\":%.2f,"
-          "\"goodput_per_sec\":%.2f,\"all_delivered\":%s}\n",
-          to_string(engine), scale,
-          static_cast<unsigned long long>(out.storage_crashes),
-          static_cast<unsigned long long>(out.failed_recoveries),
-          static_cast<unsigned long long>(out.io_errors),
-          static_cast<unsigned long long>(out.torn_puts),
-          static_cast<unsigned long long>(out.bit_flips),
-          static_cast<unsigned long long>(out.crash_points_fired),
-          static_cast<unsigned long long>(out.corrupt_cons),
-          static_cast<unsigned long long>(out.corrupt_ab),
-          static_cast<unsigned long long>(out.quarantined),
-          out.recovery_p50_ms, out.recovery_max_ms, out.goodput_per_sec,
-          out.all_delivered ? "true" : "false");
     }
   }
   std::printf("\n");
@@ -269,6 +268,7 @@ BENCHMARK(BM_ChurnMarathonPaxos)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  init_metrics_json(argc, argv);
   run_tables();
   run_storage_tables();
   benchmark::Initialize(&argc, argv);

@@ -57,6 +57,16 @@ void run_tables() {
              Table::num(static_cast<double>(kTotal) /
                         static_cast<double>(r.rounds), 1),
              Table::num(r.latency.p50_ms), Table::num(r.latency.p99_ms)});
+      Json row;
+      row.field("experiment", "throughput_batch_sweep")
+          .field("batch", batch)
+          .field("elapsed_ms", static_cast<double>(r.elapsed) / 1e6)
+          .field("throughput_per_sec", r.throughput_per_sec())
+          .field("rounds", r.rounds)
+          .field("p50_ms", r.latency.p50_ms, 3)
+          .field("p99_ms", r.latency.p99_ms, 3);
+      with_metrics(row, c);
+      emit_json_row(row);
     }
     t.print(std::cout);
   }
@@ -93,6 +103,7 @@ BENCHMARK(BM_OpenLoopBatch16)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  init_metrics_json(argc, argv);
   run_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,12 +9,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "harness/fixture.hpp"
 #include "harness/table.hpp"
+#include "obs/metrics.hpp"
 
 namespace abcast::bench {
 
@@ -125,6 +129,129 @@ inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
 /// Prints the standard experiment banner.
 inline void banner(const char* id, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", id, claim);
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable result rows.
+//
+// Experiment binaries emit one single-line JSON object per measured
+// configuration through emit_json_row(). Rows always go to stdout (tagged
+// streams are easy to grep); passing --metrics-json=PATH — stripped from
+// argv by init_metrics_json() before google-benchmark parses it — appends
+// every row to PATH as JSONL for sweep scripts.
+
+/// Ordered single-line JSON object builder. Fields appear in insertion
+/// order; string values are escaped.
+class Json {
+ public:
+  Json& field(const std::string& name, const std::string& v) {
+    key(name);
+    body_ += '"';
+    append_escaped(v);
+    body_ += '"';
+    return *this;
+  }
+  Json& field(const std::string& name, const char* v) {
+    return field(name, std::string(v));
+  }
+  Json& field(const std::string& name, bool v) {
+    key(name);
+    body_ += v ? "true" : "false";
+    return *this;
+  }
+  Json& field(const std::string& name, double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    key(name);
+    body_ += buf;
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  Json& field(const std::string& name, T v) {
+    key(name);
+    body_ += std::to_string(v);
+    return *this;
+  }
+  /// Inserts a pre-rendered JSON value (e.g. a nested snapshot object).
+  Json& raw(const std::string& name, const std::string& json) {
+    key(name);
+    body_ += json;
+    return *this;
+  }
+
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void key(const std::string& name) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    append_escaped(name);
+    body_ += "\":";
+  }
+  void append_escaped(const std::string& s) {
+    for (const char c : s) {
+      switch (c) {
+        case '"': body_ += "\\\""; break;
+        case '\\': body_ += "\\\\"; break;
+        case '\n': body_ += "\\n"; break;
+        case '\t': body_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            body_ += buf;
+          } else {
+            body_ += c;
+          }
+      }
+    }
+  }
+  std::string body_;
+};
+
+/// Path given via --metrics-json=PATH; empty when rows go to stdout only.
+inline std::string& metrics_json_path() {
+  static std::string path;
+  return path;
+}
+
+/// Strips --metrics-json=PATH from argv and truncates the file. Call before
+/// benchmark::Initialize so google-benchmark never sees the flag.
+inline void init_metrics_json(int& argc, char** argv) {
+  int out = 1;
+  const std::string prefix = "--metrics-json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      metrics_json_path() = arg.substr(prefix.size());
+      std::ofstream truncate(metrics_json_path(), std::ios::trunc);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
+
+/// Prints the row to stdout and appends it to the --metrics-json file.
+inline void emit_json_row(const Json& row) {
+  const std::string line = row.str();
+  std::printf("%s\n", line.c_str());
+  if (!metrics_json_path().empty()) {
+    std::ofstream out(metrics_json_path(), std::ios::app);
+    out << line << '\n';
+  }
+}
+
+/// Appends the cluster registry's full snapshot as a nested "metrics"
+/// object, so a row carries every protocol counter alongside the workload
+/// numbers.
+inline Json& with_metrics(Json& row, harness::Cluster& c) {
+  std::ostringstream metrics;
+  c.sim().metrics_registry().snapshot().write_json(metrics);
+  return row.raw("metrics", metrics.str());
 }
 
 }  // namespace abcast::bench

@@ -1,32 +1,66 @@
 #include "common/logging.hpp"
 
 #include <cstdio>
+#include <utility>
 
 namespace abcast {
+
+namespace {
+
+std::shared_ptr<const LogSink> default_sink() {
+  return std::make_shared<const LogSink>(
+      [](LogLevel level, const std::string& msg) {
+        std::fprintf(stderr, "[%s] %s\n", to_string(level), msg.c_str());
+      });
+}
+
+}  // namespace
 
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
 
-Logger::Logger() {
-  sink_ = [](LogLevel level, const std::string& msg) {
-    std::fprintf(stderr, "[%s] %s\n", to_string(level), msg.c_str());
-  };
-}
+Logger::Logger() : sink_(default_sink()) {}
 
 void Logger::set_sink(LogSink sink) {
-  if (sink) {
-    sink_ = std::move(sink);
-  } else {
-    sink_ = [](LogLevel level, const std::string& msg) {
-      std::fprintf(stderr, "[%s] %s\n", to_string(level), msg.c_str());
-    };
+  auto next = sink ? std::make_shared<const LogSink>(std::move(sink))
+                   : default_sink();
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(next);
+}
+
+void Logger::set_trace_sink(LogSink sink) {
+  const bool installed = static_cast<bool>(sink);
+  auto next =
+      installed ? std::make_shared<const LogSink>(std::move(sink)) : nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    trace_sink_ = std::move(next);
   }
+  trace_routed_.store(installed, std::memory_order_release);
+}
+
+std::shared_ptr<const LogSink> Logger::current_sink() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sink_;
+}
+
+std::shared_ptr<const LogSink> Logger::current_trace_sink() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_sink_;
 }
 
 void Logger::write(LogLevel level, const std::string& msg) {
-  if (enabled(level)) sink_(level, msg);
+  if (level == LogLevel::kTrace) {
+    if (auto trace = current_trace_sink()) {
+      (*trace)(level, msg);
+      return;
+    }
+  }
+  if (!enabled(level)) return;
+  const auto sink = current_sink();  // copy, then invoke outside the lock
+  (*sink)(level, msg);
 }
 
 const char* to_string(LogLevel level) {

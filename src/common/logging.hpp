@@ -3,9 +3,18 @@
 // The simulator installs a sink that prefixes virtual time and process id;
 // tests install a capturing sink; benches leave logging off (the default
 // level is kWarn, and formatting work is skipped for disabled levels).
+//
+// Thread-safe to reconfigure while the rt runtime logs concurrently: the
+// level is atomic, and sinks are swapped under a mutex via shared_ptr so a
+// writer that raced a swap finishes on the old sink instead of a dangling
+// one. Sinks are invoked outside the lock — a sink may itself log or
+// reconfigure without deadlocking.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -15,25 +24,47 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 
-/// Global logger configuration. Not thread-safe to reconfigure while logging
-/// concurrently; configure once at startup (rt runtime logs under its lock).
+/// Global logger configuration.
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+
+  bool enabled(LogLevel level) const {
+    if (level == LogLevel::kTrace && trace_routed()) return true;
+    const LogLevel threshold = this->level();
+    return level >= threshold && threshold != LogLevel::kOff;
+  }
 
   /// Replaces the sink; passing nullptr restores the default stderr sink.
   void set_sink(LogSink sink);
+
+  /// Installs a dedicated consumer for kTrace messages (used by
+  /// obs::route_trace_logs to feed a TraceRecorder). While installed, kTrace
+  /// is enabled regardless of the level threshold and kTrace messages go to
+  /// this sink INSTEAD of the regular one. nullptr uninstalls.
+  void set_trace_sink(LogSink sink);
+  bool trace_routed() const {
+    return trace_routed_.load(std::memory_order_acquire);
+  }
 
   void write(LogLevel level, const std::string& msg);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
-  LogSink sink_;
+
+  std::shared_ptr<const LogSink> current_sink() const;
+  std::shared_ptr<const LogSink> current_trace_sink() const;
+
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::atomic<bool> trace_routed_{false};
+  mutable std::mutex mu_;
+  std::shared_ptr<const LogSink> sink_;
+  std::shared_ptr<const LogSink> trace_sink_;
 };
 
 const char* to_string(LogLevel level);

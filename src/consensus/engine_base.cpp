@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/codec.hpp"
+#include "common/crc32.hpp"
 #include "common/logging.hpp"
 #include "consensus/keys.hpp"
 #include "storage/sealed_record.hpp"
@@ -41,8 +42,25 @@ EngineBase::EngineBase(Env& env, const LeaderOracle& oracle,
                        MsgType ack_type)
     : env_(env), oracle_(oracle), config_(config),
       storage_(env.storage(), "cons"), trunc_mark_(storage_, "trunc"),
-      decided_type_(decided_type), ack_type_(ack_type) {
+      decided_type_(decided_type), ack_type_(ack_type),
+      tracer_(env.tracer()) {
   ABCAST_CHECK(config_.tick_period > 0);
+  bind_metrics();
+}
+
+void EngineBase::bind_metrics() {
+  auto* registry = env_.metrics_registry();
+  if (registry == nullptr) return;
+  const obs::Labels labels{{"node", std::to_string(env_.self())}};
+  metrics_group_ = registry->group();
+  metrics_group_.bind("cons_proposals", labels, &metrics_.proposals);
+  metrics_group_.bind("cons_decided_local", labels, &metrics_.decided_local);
+  metrics_group_.bind("cons_decided_learned", labels,
+                      &metrics_.decided_learned);
+  metrics_group_.bind("cons_attempts", labels, &metrics_.attempts);
+  metrics_group_.bind("cons_corrupt_records", labels,
+                      &metrics_.corrupt_records);
+  metrics_group_.bind("cons_quarantined", labels, &metrics_.quarantined);
 }
 
 void EngineBase::start(bool recovering) {
@@ -124,6 +142,7 @@ void EngineBase::propose(InstanceId k, const Bytes& value) {
     // First proposal for k: log it before any other action, so the same
     // value is re-proposed after any crash (paper §4.3).
     storage_.put(consensus_keys::inst_key("prop", k), seal_record(value));
+    trace(obs::EventKind::kPropose, k, crc32(value));
     it = proposals_.emplace(k, value).first;
     metrics_.proposals += 1;
   }
@@ -150,6 +169,8 @@ void EngineBase::learn_decision(InstanceId k, const Bytes& value,
   // Log before announcing: Uniform Agreement must hold even if we crash
   // immediately after the callback runs.
   storage_.put(consensus_keys::inst_key("dec", k), seal_record(value));
+  trace(obs::EventKind::kDecide, k, crc32(value),
+        i_decided ? "local" : "learned");
   decisions_.emplace(k, value);
   quarantined_.erase(k);  // the outcome is known; amnesia no longer matters
   if (i_decided) {

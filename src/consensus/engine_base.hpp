@@ -8,6 +8,8 @@
 #include <set>
 
 #include "consensus/consensus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/durable_counter.hpp"
 #include "storage/scoped_storage.hpp"
 
@@ -89,6 +91,14 @@ class EngineBase : public ConsensusService {
 
   std::uint32_t majority() const { return env_.group_size() / 2 + 1; }
 
+  /// Records a protocol trace event when the host installed a recorder.
+  void trace(obs::EventKind kind, InstanceId k, std::uint64_t arg = 0,
+             std::string detail = {}) {
+    if (tracer_ != nullptr) {
+      tracer_->record(kind, env_.now(), k, MsgId{}, arg, std::move(detail));
+    }
+  }
+
   Env& env_;
   const LeaderOracle& oracle_;
   ConsensusConfig config_;
@@ -96,6 +106,7 @@ class EngineBase : public ConsensusService {
   ConsensusMetrics metrics_;
 
  private:
+  void bind_metrics();
   struct Retransmit {
     std::set<ProcessId> unacked;
     TimePoint next_at = 0;
@@ -118,7 +129,11 @@ class EngineBase : public ConsensusService {
   std::map<InstanceId, Retransmit> retransmit_;
   std::set<InstanceId> quarantined_;
   InstanceId low_water_ = 0;
+  obs::TraceRecorder* tracer_ = nullptr;  // host-owned; may be null
   bool started_ = false;
+  // Declared last: unbinds metrics_ from the registry before it is
+  // destroyed (crash destroys this object, not the registry).
+  obs::MetricsGroup metrics_group_;
 };
 
 }  // namespace abcast

@@ -81,8 +81,36 @@ std::string unordered_item_key(const MsgId& id) {
 AtomicBroadcast::AtomicBroadcast(Env& env, ConsensusService& consensus,
                                  DeliverySink& sink, Options options)
     : env_(env), cons_(consensus), sink_(sink), options_(options),
-      storage_(env.storage(), "ab"), agreed_(env.group_size()) {
+      storage_(env.storage(), "ab"), agreed_(env.group_size()),
+      tracer_(env.tracer()) {
   options_.validate();
+  bind_metrics();
+}
+
+void AtomicBroadcast::bind_metrics() {
+  auto* registry = env_.metrics_registry();
+  if (registry == nullptr) return;
+  const obs::Labels labels{{"node", std::to_string(env_.self())}};
+  metrics_group_ = registry->group();
+  metrics_group_.bind("ab_broadcasts", labels, &metrics_.broadcasts);
+  metrics_group_.bind("ab_delivered", labels, &metrics_.delivered);
+  metrics_group_.bind("ab_rounds_completed", labels,
+                      &metrics_.rounds_completed);
+  metrics_group_.bind("ab_replayed_rounds", labels, &metrics_.replayed_rounds);
+  metrics_group_.bind("ab_proposals", labels, &metrics_.proposals);
+  metrics_group_.bind("ab_empty_proposals", labels,
+                      &metrics_.empty_proposals);
+  metrics_group_.bind("ab_gossip_sent", labels, &metrics_.gossip_sent);
+  metrics_group_.bind("ab_gossip_received", labels,
+                      &metrics_.gossip_received);
+  metrics_group_.bind("ab_state_sent", labels, &metrics_.state_sent);
+  metrics_group_.bind("ab_state_sent_trimmed", labels,
+                      &metrics_.state_sent_trimmed);
+  metrics_group_.bind("ab_state_applied", labels, &metrics_.state_applied);
+  metrics_group_.bind("ab_checkpoints", labels, &metrics_.checkpoints);
+  metrics_group_.bind("ab_corrupt_records", labels,
+                      &metrics_.corrupt_records);
+  batch_size_hist_ = &registry->histogram("ab_batch_size");
 }
 
 void AtomicBroadcast::start(bool recovering, std::uint64_t incarnation) {
@@ -118,7 +146,13 @@ void AtomicBroadcast::start(bool recovering, std::uint64_t incarnation) {
           if (agreed_.base()) {
             sink_.install_checkpoint(agreed_.base()->state);
           }
-          for (const auto& m : agreed_.suffix()) sink_.deliver(m);
+          trace(obs::EventKind::kCheckpoint, k_, MsgId{}, agreed_.total(),
+                "load");
+          std::uint64_t pos = agreed_.total() - agreed_.suffix().size();
+          for (const auto& m : agreed_.suffix()) {
+            trace(obs::EventKind::kDeliver, k_, m.id, pos++);
+            sink_.deliver(m);
+          }
         } else {
           metrics_.corrupt_records += 1;
           k_ = 0;
@@ -195,6 +229,7 @@ MsgId AtomicBroadcast::broadcast(Bytes payload) {
   const MsgId id = m.id;
   unordered_.emplace(id, std::move(m));
   metrics_.broadcasts += 1;
+  trace(obs::EventKind::kBroadcast, k_, id);
 
   if (options_.log_unordered) {
     // §5.4: make A-broadcast durable before returning, so the caller may
@@ -282,10 +317,13 @@ void AtomicBroadcast::drain() {
 void AtomicBroadcast::apply_batch(const Bytes& value) {
   auto batch = decode_batch(value);
   auto delivered = agreed_.append(std::move(batch));
+  if (batch_size_hist_ != nullptr) batch_size_hist_->observe(delivered.size());
+  std::uint64_t pos = agreed_.total() - delivered.size();
   for (auto& m : delivered) {
     erase_unordered_record(m.id);
     unordered_.erase(m.id);
     metrics_.delivered += 1;
+    trace(obs::EventKind::kDeliver, k_, m.id, pos++);
     sink_.deliver(m);
   }
   // Messages that were in the decided batch but skipped as stale are also
@@ -310,6 +348,7 @@ void AtomicBroadcast::send_gossip_now() {
   for (const auto& [id, m] : unordered_) g.unordered.push_back(m);
   env_.multisend(make_wire(MsgType::kAbGossip, g));
   metrics_.gossip_sent += 1;
+  trace(obs::EventKind::kGossipSend, k_, MsgId{}, unordered_.size());
 }
 
 void AtomicBroadcast::gossip_tick() {
@@ -321,6 +360,7 @@ void AtomicBroadcast::on_message(ProcessId from, const Wire& msg) {
   if (msg.type == MsgType::kAbGossip) {
     const auto g = decode_from_bytes<GossipMsg>(msg.payload);
     metrics_.gossip_received += 1;
+    trace(obs::EventKind::kGossipRecv, g.k, MsgId{}, from);
     for (const auto& m : g.unordered) {
       if (!agreed_.contains(m.id)) unordered_.emplace(m.id, m);
     }
@@ -374,15 +414,17 @@ void AtomicBroadcast::send_state(ProcessId to,
       recipient_total <= agreed_.suffix().size()) {
     s.trimmed = true;
     s.base_total = recipient_total;
-    s.tail.assign(agreed_.suffix().begin() +
-                      static_cast<std::ptrdiff_t>(recipient_total),
-                  agreed_.suffix().end());
+    s.tail = std::vector<AppMsg>(agreed_.suffix().begin() +
+                                     static_cast<std::ptrdiff_t>(recipient_total),
+                                 agreed_.suffix().end());
     metrics_.state_sent_trimmed += 1;
   } else {
     s.agreed = agreed_;
   }
   env_.send(to, make_wire(MsgType::kAbState, s));
   metrics_.state_sent += 1;
+  trace(obs::EventKind::kStateTransfer, s.k, MsgId{}, agreed_.total(),
+        s.trimmed ? "send_trim" : "send");
 }
 
 void AtomicBroadcast::adopt_trimmed_state(std::uint64_t state_k,
@@ -394,11 +436,15 @@ void AtomicBroadcast::adopt_trimmed_state(std::uint64_t state_k,
   // this transfer does not apply; the next gossip advertises the new count
   // and the sender re-trims.
   if (agreed_.total() < base_total) return;
+  trace(obs::EventKind::kStateTransfer, state_k, MsgId{},
+        base_total + tail.size(), "adopt_trim");
   auto delivered = agreed_.append_sequence(tail);
+  std::uint64_t pos = agreed_.total() - delivered.size();
   for (const auto& m : delivered) {
     erase_unordered_record(m.id);
     unordered_.erase(m.id);
     metrics_.delivered += 1;
+    trace(obs::EventKind::kDeliver, k_, m.id, pos++);
     sink_.deliver(m);
   }
   k_ = state_k + 1;
@@ -412,9 +458,15 @@ void AtomicBroadcast::adopt_state(std::uint64_t state_k, AgreedLog incoming) {
   // Skip the Consensus instances we missed: replace our queue wholesale
   // (total order guarantees ours is a prefix of the incoming one), rebuild
   // the application, and resume the sequencer from the sender's round.
+  trace(obs::EventKind::kStateTransfer, state_k, MsgId{}, incoming.total(),
+        "adopt");
   sink_.install_checkpoint(incoming.base() ? incoming.base()->state
                                            : Bytes{});
-  for (const auto& m : incoming.suffix()) sink_.deliver(m);
+  std::uint64_t pos = incoming.total() - incoming.suffix().size();
+  for (const auto& m : incoming.suffix()) {
+    trace(obs::EventKind::kDeliver, k_, m.id, pos++);
+    sink_.deliver(m);
+  }
   agreed_ = std::move(incoming);
   k_ = state_k + 1;
   metrics_.state_applied += 1;
@@ -444,6 +496,7 @@ void AtomicBroadcast::take_checkpoint() {
   agreed_.encode(w);
   storage_.put(kCkptKey, seal_record(w.data()));
   metrics_.checkpoints += 1;
+  trace(obs::EventKind::kCheckpoint, k_, MsgId{}, agreed_.total(), "take");
   if (options_.truncate_logs) {
     // Fig. 4 line c, widened to consensus-internal records. Keep a Δ-deep
     // tail so any peer close enough NOT to trigger a state transfer can

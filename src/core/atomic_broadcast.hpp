@@ -31,6 +31,8 @@
 #include "core/delivery_sink.hpp"
 #include "core/options.hpp"
 #include "env/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/scoped_storage.hpp"
 
 namespace abcast::core {
@@ -123,6 +125,15 @@ class AtomicBroadcast {
   void log_unordered_set();
   void prune_unordered();
 
+  /// Records a protocol trace event when the host installed a recorder.
+  void trace(obs::EventKind kind, std::uint64_t k, MsgId msg = MsgId{},
+             std::uint64_t arg = 0, std::string detail = {}) {
+    if (tracer_ != nullptr) {
+      tracer_->record(kind, env_.now(), k, msg, arg, std::move(detail));
+    }
+  }
+  void bind_metrics();
+
   Env& env_;
   ConsensusService& cons_;
   DeliverySink& sink_;
@@ -137,7 +148,12 @@ class AtomicBroadcast {
   std::uint64_t counter_ = 0;    // per-incarnation broadcast counter
   std::map<ProcessId, TimePoint> last_state_sent_;
   AbMetrics metrics_;
+  obs::TraceRecorder* tracer_ = nullptr;      // host-owned; may be null
+  obs::Histogram* batch_size_hist_ = nullptr;  // registry-owned; may be null
   bool started_ = false;
+  // Declared last: unbinds the metrics_ fields from the registry before the
+  // slots above are destroyed (crash destroys this object, not the registry).
+  obs::MetricsGroup metrics_group_;
 };
 
 }  // namespace abcast::core

@@ -43,6 +43,26 @@ class VectorClock {
     return last_[p];
   }
 
+  /// Pointwise maximum with `other` (same width): the smallest prefix
+  /// containing both. Used when reconciling checkpoints from two sources.
+  void merge(const VectorClock& other) {
+    ABCAST_CHECK(other.last_.size() == last_.size());
+    for (std::size_t p = 0; p < last_.size(); ++p) {
+      if (other.last_[p] > last_[p]) last_[p] = other.last_[p];
+    }
+  }
+
+  /// True if this clock's prefix contains everything `other` describes
+  /// (pointwise >=). Both dominates(a) and a.dominates(*this) hold iff
+  /// the clocks are equal; neither holds iff they are concurrent.
+  bool dominates(const VectorClock& other) const {
+    ABCAST_CHECK(other.last_.size() == last_.size());
+    for (std::size_t p = 0; p < last_.size(); ++p) {
+      if (last_[p] < other.last_[p]) return false;
+    }
+    return true;
+  }
+
   std::uint32_t size() const { return static_cast<std::uint32_t>(last_.size()); }
 
   friend bool operator==(const VectorClock&, const VectorClock&) = default;

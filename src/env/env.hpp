@@ -17,6 +17,11 @@
 
 namespace abcast {
 
+namespace obs {
+class TraceRecorder;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Handle for a pending timer; 0 is never a valid id.
 using TimerId = std::uint64_t;
 
@@ -65,6 +70,15 @@ class Env {
 
   /// Host-provided deterministic randomness (for jitter etc.).
   virtual Rng& rng() = 0;
+
+  /// Protocol event recorder for this process, or nullptr when tracing is
+  /// off. Lives in the host, OUTSIDE the crash boundary: the trace spans
+  /// every incarnation of the process.
+  virtual obs::TraceRecorder* tracer() { return nullptr; }
+
+  /// Cluster-wide metrics registry, or nullptr when none is installed.
+  /// Also outside the crash boundary (see obs/metrics.hpp on bindings).
+  virtual obs::MetricsRegistry* metrics_registry() { return nullptr; }
 };
 
 /// A protocol stack instance hosted on one process.

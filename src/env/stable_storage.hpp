@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 namespace abcast {
 
@@ -79,6 +81,44 @@ class StableStorage {
   virtual std::uint64_t footprint_bytes() = 0;
 
   virtual const StorageStats& stats() const = 0;
+};
+
+/// Decorator that records a kLogWrite trace event for every *completed* put.
+/// Wraps the host's outermost storage (under the fault injector, so a put
+/// that crashes the process records nothing — matching the paper's "log
+/// completes or the process crashes"). Keys arrive already layer-prefixed
+/// ("ab/...", "cons/...", "fd/..."), which is what lets the offline checker
+/// attribute log operations to layers.
+class TracingStorage final : public StableStorage {
+ public:
+  TracingStorage(StableStorage& inner, obs::TraceRecorder& recorder,
+                 std::function<TimePoint()> clock)
+      : inner_(inner), recorder_(recorder), clock_(std::move(clock)) {}
+
+  void put(std::string_view key, const Bytes& value) override {
+    inner_.put(key, value);
+    recorder_.record(obs::EventKind::kLogWrite, clock_ ? clock_() : 0, 0,
+                     MsgId{}, value.size(), std::string(key));
+  }
+
+  std::optional<Bytes> get(std::string_view key) override {
+    return inner_.get(key);
+  }
+
+  void erase(std::string_view key) override { inner_.erase(key); }
+
+  std::vector<std::string> keys_with_prefix(std::string_view prefix) override {
+    return inner_.keys_with_prefix(prefix);
+  }
+
+  std::uint64_t footprint_bytes() override { return inner_.footprint_bytes(); }
+
+  const StorageStats& stats() const override { return inner_.stats(); }
+
+ private:
+  StableStorage& inner_;
+  obs::TraceRecorder& recorder_;
+  std::function<TimePoint()> clock_;
 };
 
 }  // namespace abcast

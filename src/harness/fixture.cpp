@@ -83,6 +83,45 @@ bool Cluster::await_round(std::uint64_t k, Duration timeout) {
       sim_.now() + timeout);
 }
 
+bool Cluster::await_quiesced(Duration timeout) {
+  return sim_.run_until_pred(
+      [&] {
+        std::uint64_t total = 0;
+        for (ProcessId p = 0; p < sim_.n(); ++p) {
+          core::NodeStack* s = stack(p);
+          if (s == nullptr) return false;
+          if (s->ab().unordered_size() != 0) return false;
+          if (p == 0) {
+            total = s->ab().agreed().total();
+          } else if (s->ab().agreed().total() != total) {
+            return false;
+          }
+        }
+        return true;
+      },
+      sim_.now() + timeout);
+}
+
+std::vector<obs::TraceEvent> Cluster::collect_trace() {
+  std::vector<obs::TraceEvent> merged;
+  for (ProcessId p = 0; p < sim_.n(); ++p) {
+    auto* rec = sim_.host(p).recorder();
+    ABCAST_CHECK_MSG(rec != nullptr,
+                     "collect_trace requires sim.trace_capacity > 0");
+    auto events = rec->events();
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  return merged;
+}
+
+std::uint64_t Cluster::trace_dropped() {
+  std::uint64_t dropped = 0;
+  for (ProcessId p = 0; p < sim_.n(); ++p) {
+    if (auto* rec = sim_.host(p).recorder()) dropped += rec->dropped();
+  }
+  return dropped;
+}
+
 std::vector<ProcessId> Cluster::all_processes() const {
   std::vector<ProcessId> out;
   for (ProcessId p = 0; p < config_.sim.n; ++p) out.push_back(p);

@@ -63,6 +63,19 @@ class Cluster {
   /// Runs until every up process has completed at least `k` rounds.
   bool await_round(std::uint64_t k, Duration timeout = seconds(60));
 
+  /// Runs until the cluster is quiesced: every process up, all delivery
+  /// sequences equally long, and no unordered messages pending anywhere.
+  /// (Crashed processes must be recovered by the caller first.) A quiesced
+  /// end state is what makes the offline checker's strict Termination and
+  /// Validity checks sound.
+  bool await_quiesced(Duration timeout = seconds(60));
+
+  /// Merged trace of every host (requires sim.trace_capacity > 0).
+  std::vector<obs::TraceEvent> collect_trace();
+
+  /// Events overwritten in any host's ring; a checker run should require 0.
+  std::uint64_t trace_dropped();
+
   std::vector<ProcessId> all_processes() const;
   std::vector<ProcessId> up_processes();
 

@@ -1,0 +1,268 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace abcast::obs {
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::int64_t Snapshot::value(const std::string& name,
+                             const Labels& labels) const {
+  for (const auto& e : entries_) {
+    if (e.type != MetricType::kHistogram && e.name == name &&
+        e.labels == labels) {
+      return e.value;
+    }
+  }
+  return 0;
+}
+
+std::int64_t Snapshot::sum_by_name(const std::string& name) const {
+  std::int64_t total = 0;
+  for (const auto& e : entries_) {
+    if (e.type != MetricType::kHistogram && e.name == name) total += e.value;
+  }
+  return total;
+}
+
+Snapshot Snapshot::diff(const Snapshot& base) const {
+  Snapshot out;
+  for (const auto& e : entries_) {
+    const SnapshotEntry* b = nullptr;
+    for (const auto& be : base.entries_) {
+      if (be.type == e.type && be.name == e.name && be.labels == e.labels) {
+        b = &be;
+        break;
+      }
+    }
+    SnapshotEntry d = e;
+    if (b != nullptr) {
+      switch (e.type) {
+        case MetricType::kCounter:
+          d.value = e.value - b->value;
+          break;
+        case MetricType::kGauge:
+          break;  // gauges are instantaneous; keep current value
+        case MetricType::kHistogram: {
+          d.count = e.count - b->count;
+          d.sum = e.sum - b->sum;
+          std::vector<std::pair<std::size_t, std::uint64_t>> buckets;
+          for (const auto& [idx, cnt] : e.buckets) {
+            std::uint64_t prev = 0;
+            for (const auto& [bidx, bcnt] : b->buckets) {
+              if (bidx == idx) {
+                prev = bcnt;
+                break;
+              }
+            }
+            if (cnt > prev) buckets.emplace_back(idx, cnt - prev);
+          }
+          d.buckets = std::move(buckets);
+          break;
+        }
+      }
+    }
+    out.entries_.push_back(std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+void write_labels(std::ostream& os, const Labels& labels) {
+  if (labels.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"" << v << '"';
+  }
+  os << '}';
+}
+
+void write_json_name(std::ostream& os, const SnapshotEntry& e) {
+  os << '"' << e.name;
+  for (const auto& [k, v] : e.labels) os << '|' << k << '=' << v;
+  os << '"';
+}
+
+}  // namespace
+
+void Snapshot::write_text(std::ostream& os) const {
+  for (const auto& e : entries_) {
+    os << e.name;
+    write_labels(os, e.labels);
+    if (e.type == MetricType::kHistogram) {
+      os << " count=" << e.count << " sum=" << e.sum;
+      for (const auto& [idx, cnt] : e.buckets) {
+        os << " le" << Histogram::bucket_bound(idx) << '=' << cnt;
+      }
+      os << '\n';
+    } else {
+      os << ' ' << e.value << '\n';
+    }
+  }
+}
+
+void Snapshot::write_json(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  for (const auto& e : entries_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_name(os, e);
+    os << ':';
+    if (e.type == MetricType::kHistogram) {
+      os << "{\"count\":" << e.count << ",\"sum\":" << e.sum << ",\"buckets\":{";
+      bool bfirst = true;
+      for (const auto& [idx, cnt] : e.buckets) {
+        if (!bfirst) os << ',';
+        bfirst = false;
+        os << '"' << Histogram::bucket_bound(idx) << "\":" << cnt;
+      }
+      os << "}}";
+    } else {
+      os << e.value;
+    }
+  }
+  os << '}';
+}
+
+MetricsGroup::MetricsGroup(MetricsGroup&& other) noexcept
+    : registry_(other.registry_), group_id_(other.group_id_) {
+  other.registry_ = nullptr;
+  other.group_id_ = 0;
+}
+
+MetricsGroup& MetricsGroup::operator=(MetricsGroup&& other) noexcept {
+  if (this != &other) {
+    reset();
+    registry_ = other.registry_;
+    group_id_ = other.group_id_;
+    other.registry_ = nullptr;
+    other.group_id_ = 0;
+  }
+  return *this;
+}
+
+MetricsGroup::~MetricsGroup() { reset(); }
+
+void MetricsGroup::bind(std::string name, Labels labels,
+                        const std::uint64_t* slot) {
+  if (registry_ == nullptr) return;
+  registry_->add_binding(group_id_,
+                         {std::move(name), std::move(labels)}, slot);
+}
+
+void MetricsGroup::reset() {
+  if (registry_ != nullptr) {
+    registry_->drop_group(group_id_);
+    registry_ = nullptr;
+    group_id_ = 0;
+  }
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[Key{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[Key{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[Key{name, labels}];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsGroup MetricsRegistry::group() {
+  MetricsGroup g(this);
+  std::lock_guard<std::mutex> lock(mu_);
+  g.group_id_ = next_group_id_++;
+  return g;
+}
+
+void MetricsRegistry::add_binding(std::uint64_t group_id, Key key,
+                                  const std::uint64_t* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bindings_.push_back(Binding{std::move(key), slot, group_id});
+}
+
+void MetricsRegistry::drop_group(std::uint64_t group_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(bindings_,
+                [group_id](const Binding& b) { return b.group_id == group_id; });
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Bound slots under the same (name, labels) sum together: several
+  // incarnations of the same logical metric may be live at once (e.g. two
+  // sim hosts binding with identical labels would be a caller bug, but a
+  // re-bound slot after recovery plus a stale not-yet-dropped one is not).
+  std::map<Key, std::uint64_t> bound;
+  for (const auto& b : bindings_) bound[b.key] += *b.slot;
+
+  for (const auto& [key, value] : bound) {
+    SnapshotEntry e;
+    e.name = key.name;
+    e.labels = key.labels;
+    e.type = MetricType::kCounter;
+    e.value = static_cast<std::int64_t>(value);
+    out.entries_.push_back(std::move(e));
+  }
+  for (const auto& [key, c] : counters_) {
+    SnapshotEntry e;
+    e.name = key.name;
+    e.labels = key.labels;
+    e.type = MetricType::kCounter;
+    e.value = static_cast<std::int64_t>(c->value());
+    out.entries_.push_back(std::move(e));
+  }
+  for (const auto& [key, g] : gauges_) {
+    SnapshotEntry e;
+    e.name = key.name;
+    e.labels = key.labels;
+    e.type = MetricType::kGauge;
+    e.value = g->value();
+    out.entries_.push_back(std::move(e));
+  }
+  for (const auto& [key, h] : histograms_) {
+    SnapshotEntry e;
+    e.name = key.name;
+    e.labels = key.labels;
+    e.type = MetricType::kHistogram;
+    e.count = h->count();
+    e.sum = h->sum();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const auto cnt = h->bucket_count(b);
+      if (cnt != 0) e.buckets.emplace_back(b, cnt);
+    }
+    out.entries_.push_back(std::move(e));
+  }
+  std::sort(out.entries_.begin(), out.entries_.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return out;
+}
+
+}  // namespace abcast::obs

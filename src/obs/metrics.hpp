@@ -1,0 +1,207 @@
+// Labeled metrics registry: counters, gauges, log2-bucket histograms.
+//
+// Two ways to get a metric into the registry:
+//
+//  * Owned instruments — counter()/gauge()/histogram() get-or-create a slot
+//    keyed by (name, labels). The returned handle is a stable pointer that
+//    survives for the registry's lifetime, so a metric accumulates across
+//    process incarnations (crash destroys the node object, not the registry).
+//
+//  * Bindings — bind() registers a read-only view onto a counter field that
+//    already lives in some struct (AbMetrics, ConsensusMetrics,
+//    StorageStats). The hot path stays a plain `field += 1`; the registry
+//    only dereferences the pointer at snapshot time. Because the bound slot
+//    dies with its owner, binders hold a MetricsGroup whose destructor
+//    removes the bindings (declare the group LAST in the owning class so it
+//    unbinds before the slots are destroyed).
+//
+// Snapshots are consistent point-in-time copies supporting diff (for
+// per-phase deltas in benches), sum_by_name (labels collapsed), and text /
+// JSON export.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace abcast::obs {
+
+/// Sorted key=value label set; part of a metric's identity.
+using Labels = std::map<std::string, std::string>;
+
+/// Monotonically increasing counter. inc() is a relaxed atomic add — cheap
+/// enough for protocol hot paths.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { v_.fetch_add(by, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value-wins gauge.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t by) { v_.fetch_add(by, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Histogram with logarithmic (power-of-two) buckets: observation v lands in
+/// bucket bit_width(v), i.e. bucket b counts values in [2^(b-1), 2^b).
+/// Bucket 0 counts zeros. 65 buckets cover the full uint64 range.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t v) {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+
+  /// Inclusive upper bound of bucket b (v <= bound lands in b or lower).
+  static std::uint64_t bucket_bound(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One metric in a Snapshot.
+struct SnapshotEntry {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  std::int64_t value = 0;                          // counter/gauge
+  std::uint64_t count = 0, sum = 0;                // histogram
+  std::vector<std::pair<std::size_t, std::uint64_t>> buckets;  // non-empty only
+};
+
+/// Point-in-time copy of every metric in a registry.
+class Snapshot {
+ public:
+  const std::vector<SnapshotEntry>& entries() const { return entries_; }
+
+  /// Counter/gauge value for an exact (name, labels) match; 0 if absent.
+  std::int64_t value(const std::string& name, const Labels& labels = {}) const;
+
+  /// Sum of all counter/gauge entries sharing `name`, labels collapsed.
+  std::int64_t sum_by_name(const std::string& name) const;
+
+  /// this - base, counter/histogram entries only (gauges keep their current
+  /// value). Entries absent from `base` are kept whole.
+  Snapshot diff(const Snapshot& base) const;
+
+  /// One line per metric: name{label="v",...} value.
+  void write_text(std::ostream& os) const;
+
+  /// Single JSON object: flat for counters/gauges, nested for histograms.
+  void write_json(std::ostream& os) const;
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<SnapshotEntry> entries_;
+};
+
+class MetricsRegistry;
+
+/// RAII handle over a set of bind() registrations. Destroying (or reset())
+/// removes them from the registry. Movable, not copyable.
+class MetricsGroup {
+ public:
+  MetricsGroup() = default;
+  MetricsGroup(MetricsGroup&& other) noexcept;
+  MetricsGroup& operator=(MetricsGroup&& other) noexcept;
+  MetricsGroup(const MetricsGroup&) = delete;
+  MetricsGroup& operator=(const MetricsGroup&) = delete;
+  ~MetricsGroup();
+
+  /// Binds a live counter slot under (name, labels). No-op on a default
+  /// (registry-less) group, so callers can bind unconditionally.
+  void bind(std::string name, Labels labels, const std::uint64_t* slot);
+
+  /// Removes all bindings made through this group.
+  void reset();
+
+  bool attached() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit MetricsGroup(MetricsRegistry* registry) : registry_(registry) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint64_t group_id_ = 0;
+};
+
+/// Process- or cluster-wide metrics registry. Thread-safe; instrument
+/// handles returned by counter()/gauge()/histogram() remain valid for the
+/// registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  Histogram& histogram(const std::string& name, const Labels& labels = {});
+
+  /// Creates a group for bind() registrations (see MetricsGroup).
+  MetricsGroup group();
+
+  Snapshot snapshot() const;
+
+ private:
+  friend class MetricsGroup;
+
+  struct Key {
+    std::string name;
+    Labels labels;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  struct Binding {
+    Key key;
+    const std::uint64_t* slot;
+    std::uint64_t group_id;
+  };
+
+  void add_binding(std::uint64_t group_id, Key key, const std::uint64_t* slot);
+  void drop_group(std::uint64_t group_id);
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::vector<Binding> bindings_;
+  std::uint64_t next_group_id_ = 1;
+};
+
+}  // namespace abcast::obs

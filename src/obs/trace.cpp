@@ -1,0 +1,363 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "common/codec.hpp"
+#include "common/logging.hpp"
+
+namespace abcast::obs {
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr std::array<KindName, 13> kKindNames = {{
+    {EventKind::kBroadcast, "broadcast"},
+    {EventKind::kGossipSend, "gossip_send"},
+    {EventKind::kGossipRecv, "gossip_recv"},
+    {EventKind::kPropose, "propose"},
+    {EventKind::kLogWrite, "log_write"},
+    {EventKind::kDecide, "decide"},
+    {EventKind::kDeliver, "deliver"},
+    {EventKind::kCheckpoint, "checkpoint"},
+    {EventKind::kStateTransfer, "state_transfer"},
+    {EventKind::kCrash, "crash"},
+    {EventKind::kRecoverBegin, "recover_begin"},
+    {EventKind::kRecoverEnd, "recover_end"},
+    {EventKind::kLogLine, "log_line"},
+}};
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  for (const auto& kn : kKindNames) {
+    if (kn.kind == kind) return kn.name;
+  }
+  return "?";
+}
+
+bool event_kind_from_string(std::string_view s, EventKind& out) {
+  for (const auto& kn : kKindNames) {
+    if (s == kn.name) {
+      out = kn.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+TraceRecorder::TraceRecorder(ProcessId node, std::size_t capacity)
+    : node_(node), capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+void TraceRecorder::set_clock(std::function<TimePoint()> clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(clock);
+}
+
+void TraceRecorder::record(EventKind kind, TimePoint t, std::uint64_t k,
+                           MsgId msg, std::uint64_t arg, std::string detail) {
+  TraceEvent e;
+  e.kind = kind;
+  e.node = node_;
+  e.t = t;
+  e.k = k;
+  e.msg = msg;
+  e.arg = arg;
+  e.detail = std::move(detail);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = total_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[head_] = std::move(e);
+    head_ = (head_ + 1) % capacity_;
+  }
+}
+
+void TraceRecorder::log_line(std::string line) {
+  TimePoint t = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (clock_) t = clock_();
+  }
+  record(EventKind::kLogLine, t, 0, MsgId{}, 0, std::move(line));
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  total_ = 0;
+}
+
+void TraceRecorder::write_jsonl(std::ostream& os) const {
+  for (const auto& e : events()) os << event_to_json(e) << '\n';
+}
+
+std::string event_to_json(const TraceEvent& e) {
+  std::string out = "{\"node\":" + std::to_string(e.node);
+  out += ",\"seq\":" + std::to_string(e.seq);
+  out += ",\"t\":" + std::to_string(e.t);
+  out += ",\"kind\":\"";
+  out += to_string(e.kind);
+  out += "\",\"k\":" + std::to_string(e.k);
+  out += ",\"arg\":" + std::to_string(e.arg);
+  if (e.has_msg()) {
+    out += ",\"msg\":\"" + std::to_string(e.msg.sender) + ":" +
+           std::to_string(e.msg.seq) + "\"";
+  }
+  if (!e.detail.empty()) {
+    out += ",\"detail\":\"";
+    append_escaped(out, e.detail);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// Minimal parser for the flat one-line objects event_to_json emits. Not a
+// general JSON parser: values are unsigned/signed integers or strings, no
+// nesting, no literals.
+class LineParser {
+ public:
+  LineParser(std::string_view line, std::size_t lineno)
+      : s_(line), lineno_(lineno) {}
+
+  TraceEvent parse() {
+    TraceEvent e;
+    bool saw_kind = false;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      fail("empty object");
+    }
+    while (true) {
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "node") {
+        e.node = static_cast<ProcessId>(parse_uint());
+      } else if (key == "seq") {
+        e.seq = parse_uint();
+      } else if (key == "t") {
+        e.t = parse_int();
+      } else if (key == "k") {
+        e.k = parse_uint();
+      } else if (key == "arg") {
+        e.arg = parse_uint();
+      } else if (key == "kind") {
+        const std::string name = parse_string();
+        if (!event_kind_from_string(name, e.kind)) {
+          fail("unknown event kind '" + name + "'");
+        }
+        saw_kind = true;
+      } else if (key == "msg") {
+        const std::string v = parse_string();
+        const auto colon = v.find(':');
+        if (colon == std::string::npos) fail("malformed msg id '" + v + "'");
+        e.msg.sender =
+            static_cast<ProcessId>(std::stoull(v.substr(0, colon)));
+        e.msg.seq = std::stoull(v.substr(colon + 1));
+      } else if (key == "detail") {
+        e.detail = parse_string();
+      } else {
+        // Unknown key: skip its value so the format can grow.
+        if (peek() == '"') {
+          parse_string();
+        } else {
+          parse_int();
+        }
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    if (!saw_kind) fail("missing \"kind\"");
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw CodecError("trace line " + std::to_string(lineno_) + ": " + why);
+  }
+
+  char peek() const {
+    if (pos_ >= s_.size()) fail("unexpected end of line");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = peek();
+        ++pos_;
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') {
+                v |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad \\u escape");
+              }
+            }
+            if (v > 0xFF) fail("\\u escape beyond latin-1 unsupported");
+            out += static_cast<char>(v);
+            break;
+          }
+          default: fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  std::uint64_t parse_uint() {
+    const std::int64_t v = parse_int();
+    if (v < 0) fail("expected non-negative integer");
+    return static_cast<std::uint64_t>(v);
+  }
+
+  std::int64_t parse_int() {
+    bool neg = false;
+    if (peek() == '-') {
+      neg = true;
+      ++pos_;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      fail("expected digit");
+    }
+    std::uint64_t v = 0;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      v = v * 10 + static_cast<std::uint64_t>(s_[pos_] - '0');
+      ++pos_;
+    }
+    return neg ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+  }
+
+  std::string_view s_;
+  std::size_t lineno_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<TraceEvent> parse_trace_jsonl(std::istream& is) {
+  std::vector<TraceEvent> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::size_t first = 0;
+    while (first < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[first]))) {
+      ++first;
+    }
+    if (first == line.size()) continue;
+    out.push_back(LineParser(line, lineno).parse());
+  }
+  return out;
+}
+
+void route_trace_logs(TraceRecorder* rec) {
+  auto& logger = Logger::instance();
+  if (rec == nullptr) {
+    logger.set_trace_sink(nullptr);
+    return;
+  }
+  logger.set_trace_sink(
+      [rec](LogLevel, const std::string& msg) { rec->log_line(msg); });
+}
+
+}  // namespace abcast::obs

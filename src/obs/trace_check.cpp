@@ -1,0 +1,319 @@
+#include "obs/trace_check.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string_view>
+#include <unordered_map>
+
+namespace abcast::obs {
+
+std::string to_string(const Violation& v) {
+  std::string out = v.property;
+  out += ": ";
+  out += v.message;
+  if (v.node != kNoProcess) {
+    out += " (node " + std::to_string(v.node) + ", seq " +
+           std::to_string(v.seq) + ")";
+  }
+  return out;
+}
+
+namespace {
+
+bool is_adopt(const TraceEvent& e) {
+  return e.kind == EventKind::kStateTransfer &&
+         (e.detail == "adopt" || e.detail == "adopt_trim");
+}
+
+}  // namespace
+
+CheckReport check_trace(const std::vector<TraceEvent>& events,
+                        const CheckOptions& options) {
+  CheckReport report;
+  report.stats.events = events.size();
+
+  // Group per node, order by recorder-stamped seq.
+  std::map<ProcessId, std::vector<const TraceEvent*>> by_node;
+  for (const auto& e : events) by_node[e.node].push_back(&e);
+  for (auto& [node, evs] : by_node) {
+    std::sort(evs.begin(), evs.end(),
+              [](const TraceEvent* a, const TraceEvent* b) {
+                return a->seq < b->seq;
+              });
+  }
+  report.stats.nodes = by_node.size();
+
+  auto violate = [&report](std::string property, const TraceEvent& e,
+                           std::string message) {
+    report.violations.push_back(Violation{std::move(property), e.node, e.seq,
+                                          std::move(message)});
+  };
+
+  // Global cross-node order maps. Positions form the agreed sequence, so the
+  // pair (position -> message) must be a bijection across the whole system.
+  std::map<std::uint64_t, std::pair<MsgId, ProcessId>> pos_to_msg;
+  std::unordered_map<MsgId, std::uint64_t, MsgIdHash> msg_to_pos;
+  // Agreement on consensus decisions: instance k -> crc of decided value.
+  std::map<std::uint64_t, std::pair<std::uint64_t, ProcessId>> decided_crc;
+
+  std::unordered_map<MsgId, const TraceEvent*, MsgIdHash> broadcasts;
+  std::set<MsgId> delivered_anywhere;
+
+  struct NodeTally {
+    std::uint64_t reached = 0;  // max position known delivered/covered
+    bool up = true;             // lifecycle state at end of trace
+    bool has_crash = false;
+    std::uint64_t last_crash_seq = 0;
+  };
+  std::map<ProcessId, NodeTally> tallies;
+
+  for (const auto& [node, evs] : by_node) {
+    NodeTally& tally = tallies[node];
+
+    // Per-incarnation delivery state.
+    std::uint64_t segment = 0;
+    std::uint64_t expected_pos = 0;
+    bool allow_jump = false;
+    // msg -> (position, segment) of first delivery on this node.
+    std::unordered_map<MsgId, std::pair<std::uint64_t, std::uint64_t>,
+                       MsgIdHash>
+        first_delivery;
+    std::set<std::pair<std::uint64_t, std::uint64_t>> seen_in_segment;
+    // (segment, consensus instance) -> proposal log-write count.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> prop_writes;
+
+    for (const TraceEvent* ep : evs) {
+      const TraceEvent& e = *ep;
+      switch (e.kind) {
+        case EventKind::kBroadcast:
+          ++report.stats.broadcasts;
+          if (e.has_msg()) broadcasts.emplace(e.msg, &e);
+          break;
+
+        case EventKind::kDeliver: {
+          ++report.stats.delivers;
+          const std::uint64_t pos = e.arg;
+
+          // Integrity within this node.
+          auto [it, inserted] =
+              first_delivery.try_emplace(e.msg, pos, segment);
+          if (!inserted) {
+            if (it->second.first != pos) {
+              violate("Integrity", e,
+                      "node delivers " + abcast::to_string(e.msg) +
+                          " at position " + std::to_string(pos) +
+                          " after delivering it at position " +
+                          std::to_string(it->second.first));
+            } else if (it->second.second == segment) {
+              violate("Integrity", e,
+                      "node delivers " + abcast::to_string(e.msg) +
+                          " twice within one incarnation (position " +
+                          std::to_string(pos) + ")");
+            }
+            // Same position, earlier incarnation: legitimate recovery replay.
+          }
+          if (!seen_in_segment.emplace(segment, pos).second) {
+            violate("Integrity", e,
+                    "two deliveries at position " + std::to_string(pos) +
+                        " within one incarnation");
+          }
+
+          // Position continuity.
+          if (pos != expected_pos && !allow_jump) {
+            violate("TotalOrder", e,
+                    "delivery position " + std::to_string(pos) +
+                        " breaks continuity (expected " +
+                        std::to_string(expected_pos) + ")");
+          }
+          expected_pos = pos + 1;
+          allow_jump = false;
+
+          // Global total order.
+          auto [pit, pos_fresh] =
+              pos_to_msg.try_emplace(pos, e.msg, e.node);
+          if (!pos_fresh && pit->second.first != e.msg) {
+            violate("TotalOrder", e,
+                    "position " + std::to_string(pos) + " holds " +
+                        abcast::to_string(e.msg) + " here but " +
+                        abcast::to_string(pit->second.first) + " on node " +
+                        std::to_string(pit->second.second));
+          }
+          auto [mit, msg_fresh] = msg_to_pos.try_emplace(e.msg, pos);
+          if (!msg_fresh && mit->second != pos) {
+            violate("TotalOrder", e,
+                    abcast::to_string(e.msg) + " delivered at position " +
+                        std::to_string(pos) + " here but at position " +
+                        std::to_string(mit->second) + " elsewhere");
+          }
+
+          delivered_anywhere.insert(e.msg);
+          tally.reached = std::max(tally.reached, pos + 1);
+          report.stats.max_position =
+              std::max(report.stats.max_position, pos + 1);
+          break;
+        }
+
+        case EventKind::kDecide: {
+          ++report.stats.decides;
+          auto [it, fresh] =
+              decided_crc.try_emplace(e.k, e.arg, e.node);
+          if (!fresh && it->second.first != e.arg) {
+            violate("Agreement", e,
+                    "consensus instance " + std::to_string(e.k) +
+                        " decided value crc " + std::to_string(e.arg) +
+                        " here but crc " + std::to_string(it->second.first) +
+                        " on node " + std::to_string(it->second.second));
+          }
+          break;
+        }
+
+        case EventKind::kLogWrite: {
+          ++report.stats.log_writes;
+          if (options.basic_protocol && e.detail.rfind("ab/", 0) == 0) {
+            violate("LogMinimality", e,
+                    "AB-layer log write '" + e.detail +
+                        "' in the basic protocol (Fig. 2 logs nothing at the "
+                        "AB layer)");
+          }
+          constexpr std::string_view kPropPrefix = "cons/prop/";
+          if (e.detail.size() > kPropPrefix.size() &&
+              e.detail.rfind(kPropPrefix, 0) == 0 &&
+              std::isdigit(static_cast<unsigned char>(
+                  e.detail[kPropPrefix.size()]))) {
+            const std::uint64_t k = std::stoull(
+                e.detail.substr(kPropPrefix.size()));
+            if (++prop_writes[{segment, k}] > 1) {
+              violate("LogMinimality", e,
+                      "consensus instance " + std::to_string(k) +
+                          " logged its proposal more than once within one "
+                          "incarnation");
+            }
+          }
+          break;
+        }
+
+        case EventKind::kStateTransfer:
+          if (is_adopt(e)) {
+            allow_jump = true;
+            tally.reached = std::max(tally.reached, e.arg);
+            // A full adoption wholesale-replaces the Agreed queue and
+            // re-delivers the suffix on top of a fresh application
+            // checkpoint — a reset, so it opens a new delivery segment
+            // (trimmed adoptions only extend the sequence).
+            if (e.detail == "adopt") ++segment;
+          }
+          break;
+
+        case EventKind::kCheckpoint:
+          tally.reached = std::max(tally.reached, e.arg);
+          break;
+
+        case EventKind::kCrash:
+          tally.up = false;
+          tally.has_crash = true;
+          tally.last_crash_seq = e.seq;
+          ++segment;  // a post-crash incarnation (if any) is a new segment
+          allow_jump = true;
+          break;
+
+        case EventKind::kRecoverBegin:
+          tally.up = true;  // provisional; kCrash flips it back
+          ++segment;
+          allow_jump = true;
+          seen_in_segment.clear();
+          break;
+
+        case EventKind::kRecoverEnd:
+          tally.up = true;
+          break;
+
+        case EventKind::kGossipSend:
+        case EventKind::kGossipRecv:
+        case EventKind::kPropose:
+        case EventKind::kLogLine:
+          break;
+      }
+    }
+  }
+
+  report.stats.unique_delivered = delivered_anywhere.size();
+
+  // Validity: every broadcast message is eventually delivered somewhere —
+  // unless the broadcaster crashed after broadcasting, in which case the
+  // message may legitimately have been lost with the process (the basic
+  // protocol keeps Unordered in volatile memory).
+  for (const auto& [msg, ev] : broadcasts) {
+    if (delivered_anywhere.count(msg) != 0) continue;
+    const NodeTally& tally = tallies[ev->node];
+    const bool may_be_lost =
+        tally.has_crash && tally.last_crash_seq > ev->seq;
+    if (options.require_quiesced && !may_be_lost) {
+      report.violations.push_back(
+          Violation{"Validity", ev->node, ev->seq,
+                    abcast::to_string(msg) +
+                        " was broadcast but never delivered anywhere"});
+    } else {
+      report.warnings.push_back(
+          "Validity: " + abcast::to_string(msg) +
+          " broadcast by node " + std::to_string(ev->node) +
+          " was never delivered" +
+          (may_be_lost ? " (broadcaster crashed afterwards; may be lost)"
+                       : " (trace may be truncated)"));
+    }
+  }
+
+  // Integrity, second half: nothing is delivered that was not broadcast.
+  for (const auto& msg : delivered_anywhere) {
+    if (broadcasts.count(msg) != 0) continue;
+    if (by_node.count(msg.sender) == 0) {
+      report.warnings.push_back(
+          "Integrity: " + abcast::to_string(msg) +
+          " delivered but its sender's trace is absent (partial merge?)");
+    } else {
+      report.violations.push_back(
+          Violation{"Integrity", msg.sender, 0,
+                    abcast::to_string(msg) +
+                        " was delivered but never broadcast"});
+    }
+  }
+
+  // Termination-progress: in a quiesced trace every node that ends up must
+  // have reached the global maximum position.
+  if (options.require_quiesced) {
+    std::uint64_t global_max = 0;
+    for (const auto& [node, tally] : tallies) {
+      global_max = std::max(global_max, tally.reached);
+    }
+    for (const auto& [node, tally] : tallies) {
+      if (!tally.up) continue;
+      if (tally.reached < global_max) {
+        report.violations.push_back(Violation{
+            "Termination", node, 0,
+            "node is up but reached only position " +
+                std::to_string(tally.reached) + " of " +
+                std::to_string(global_max)});
+      }
+    }
+  }
+
+  // Positions delivered must form a prefix [0, max) somewhere in the system
+  // when quiesced — a hole means the order relation is not total.
+  if (options.require_quiesced) {
+    for (std::uint64_t p = 0; p < report.stats.max_position; ++p) {
+      if (pos_to_msg.count(p) == 0) {
+        report.violations.push_back(Violation{
+            "TotalOrder", kNoProcess, 0,
+            "no delivery observed for position " + std::to_string(p) +
+                " although position " +
+                std::to_string(report.stats.max_position - 1) +
+                " was delivered"});
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace abcast::obs

@@ -17,7 +17,18 @@ RtHost::RtHost(RtCluster& cluster, ProcessId id)
       storage_(cluster.config_.storage_factory
                    ? cluster.config_.storage_factory(id)
                    : std::make_unique<MemStableStorage>()) {
+  if (cluster.config_.trace_capacity > 0) {
+    recorder_ = std::make_unique<obs::TraceRecorder>(
+        id, cluster.config_.trace_capacity);
+    recorder_->set_clock([this] { return now(); });
+    tracing_storage_ = std::make_unique<TracingStorage>(
+        *storage_, *recorder_, [this] { return now(); });
+  }
   thread_ = std::thread([this] { loop(); });
+}
+
+obs::MetricsRegistry* RtHost::metrics_registry() {
+  return &cluster_.metrics_registry();
 }
 
 RtHost::~RtHost() { shutdown(); }
@@ -120,9 +131,15 @@ void RtHost::start_node(const NodeFactory& factory, bool recovering) {
   t.only_if_up = false;
   t.fn = [this, &factory, recovering, &done] {
     ABCAST_CHECK_MSG(node_ == nullptr, "rt process already up");
+    if (recovering && recorder_) {
+      recorder_->record(obs::EventKind::kRecoverBegin, now());
+    }
     node_ = factory(*this);
     up_.store(true);
     node_->start(recovering);
+    if (recovering && recorder_) {
+      recorder_->record(obs::EventKind::kRecoverEnd, now());
+    }
     done.set_value();
   };
   enqueue(std::move(t));
@@ -140,6 +157,7 @@ void RtHost::crash_node() {
     ABCAST_CHECK_MSG(node_ != nullptr, "rt process already down");
     up_.store(false);
     node_.reset();  // volatile state dies here
+    if (recorder_) recorder_->record(obs::EventKind::kCrash, now());
     {
       std::lock_guard<std::mutex> lock(mu_);
       incarnation_ += 1;  // pending timers become stale

@@ -28,6 +28,8 @@
 
 #include "common/rng.hpp"
 #include "env/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/mem_storage.hpp"
 
 namespace abcast::rt {
@@ -47,6 +49,8 @@ struct RtConfig {
   /// survives crash()/recover() but not process exit). Use
   /// FileStableStorage for on-disk durability.
   std::function<std::unique_ptr<StableStorage>(ProcessId)> storage_factory;
+  /// Per-host protocol trace ring capacity (events); 0 disables tracing.
+  std::size_t trace_capacity = 0;
 };
 
 class RtCluster;
@@ -63,8 +67,17 @@ class RtHost final : public Env {
   TimerId schedule_after(Duration delay, std::function<void()> fn) override;
   void cancel_timer(TimerId id) override;
   void send(ProcessId to, const Wire& msg) override;
-  StableStorage& storage() override { return *storage_; }
+  StableStorage& storage() override {
+    return tracing_storage_ ? static_cast<StableStorage&>(*tracing_storage_)
+                            : *storage_;
+  }
   Rng& rng() override { return rng_; }
+  obs::TraceRecorder* tracer() override { return recorder_.get(); }
+  obs::MetricsRegistry* metrics_registry() override;
+
+  /// This host's protocol trace, or nullptr when trace_capacity == 0.
+  /// TraceRecorder is internally synchronized, so any thread may read it.
+  obs::TraceRecorder* recorder() { return recorder_.get(); }
 
   /// Runs `fn` on the host thread (from any thread); no-op result if the
   /// host is down when the task is picked up and `only_if_up` is set.
@@ -111,6 +124,8 @@ class RtHost final : public Env {
   ProcessId id_;
   Rng rng_;
   std::unique_ptr<StableStorage> storage_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;    // survives crashes
+  std::unique_ptr<TracingStorage> tracing_storage_;  // wraps storage_
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -152,6 +167,10 @@ class RtCluster {
   std::uint32_t n() const { return config_.n; }
   TimePoint now() const;
 
+  /// Cluster-wide metrics registry (outside every crash boundary;
+  /// thread-safe).
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
+
  private:
   friend class RtHost;
 
@@ -159,6 +178,7 @@ class RtCluster {
 
   RtConfig config_;
   std::chrono::steady_clock::time_point epoch_;
+  obs::MetricsRegistry registry_;
   NodeFactory factory_;
   std::vector<std::unique_ptr<RtHost>> hosts_;
 };

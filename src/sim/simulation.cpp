@@ -15,6 +15,19 @@ SimHost::SimHost(Simulation& sim, ProcessId id)
               : std::make_unique<MemStableStorage>(),
           rng_.fork())) {
   storage_->set_profile(sim.config().storage_faults);
+  if (sim.config().trace_capacity > 0) {
+    recorder_ =
+        std::make_unique<obs::TraceRecorder>(id, sim.config().trace_capacity);
+    recorder_->set_clock([this] { return now(); });
+    // Trace completed log writes through the fault decorator, so a put that
+    // crashes the process records nothing (log completes or process dies).
+    tracing_storage_ = std::make_unique<TracingStorage>(
+        *storage_, *recorder_, [this] { return now(); });
+  }
+}
+
+obs::MetricsRegistry* SimHost::metrics_registry() {
+  return &sim_.metrics_registry();
 }
 
 std::uint32_t SimHost::group_size() const { return sim_.n(); }
@@ -60,6 +73,9 @@ void SimHost::send(ProcessId to, const Wire& msg) {
 
 bool SimHost::start(const NodeFactory& factory, bool recovering) {
   ABCAST_CHECK_MSG(node_ == nullptr, "process already up");
+  if (recovering && recorder_) {
+    recorder_->record(obs::EventKind::kRecoverBegin, now());
+  }
   node_ = factory(*this);
   ABCAST_CHECK(node_ != nullptr);
   if (recovering) stats_.recoveries += 1;
@@ -74,6 +90,9 @@ bool SimHost::start(const NodeFactory& factory, bool recovering) {
     if (recovering) stats_.failed_recoveries += 1;
     return false;
   }
+  if (recovering && recorder_) {
+    recorder_->record(obs::EventKind::kRecoverEnd, now());
+  }
   return true;
 }
 
@@ -85,6 +104,7 @@ void SimHost::crash() {
   for (const auto token : live_timers_) sim_.scheduler_.cancel(token);
   live_timers_.clear();
   stats_.crashes += 1;
+  if (recorder_) recorder_->record(obs::EventKind::kCrash, now());
 }
 
 void SimHost::crash_from_storage_fault() {

@@ -23,6 +23,8 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "env/env.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "storage/faulty_storage.hpp"
 #include "storage/mem_storage.hpp"
@@ -52,6 +54,10 @@ struct SimConfig {
   std::function<std::unique_ptr<StableStorage>(ProcessId)> storage_factory;
   /// RNG-driven storage fault rates applied to every host's decorator.
   StorageFaultProfile storage_faults;
+  /// Per-host protocol trace ring capacity (events); 0 disables tracing.
+  /// Recorders live in the host, outside the crash boundary, so one trace
+  /// spans every incarnation of a process.
+  std::size_t trace_capacity = 0;
 };
 
 /// Aggregate network counters for bandwidth-style experiments.
@@ -99,11 +105,19 @@ class SimHost final : public Env {
   TimerId schedule_after(Duration delay, std::function<void()> fn) override;
   void cancel_timer(TimerId id) override;
   void send(ProcessId to, const Wire& msg) override;
-  StableStorage& storage() override { return *storage_; }
+  StableStorage& storage() override {
+    return tracing_storage_ ? static_cast<StableStorage&>(*tracing_storage_)
+                            : *storage_;
+  }
   Rng& rng() override { return rng_; }
+  obs::TraceRecorder* tracer() override { return recorder_.get(); }
+  obs::MetricsRegistry* metrics_registry() override;
 
   bool is_up() const { return node_ != nullptr; }
   const HostStats& stats() const { return stats_; }
+
+  /// This host's protocol trace, or nullptr when trace_capacity == 0.
+  obs::TraceRecorder* recorder() { return recorder_.get(); }
 
   /// The fault-injection decorator every storage op flows through; arm
   /// crash-points / set per-host profiles here.
@@ -131,6 +145,8 @@ class SimHost final : public Env {
   ProcessId id_;
   Rng rng_;
   std::unique_ptr<FaultyStorage> storage_;
+  std::unique_ptr<obs::TraceRecorder> recorder_;       // survives crashes
+  std::unique_ptr<TracingStorage> tracing_storage_;    // wraps storage_
   std::unique_ptr<NodeApp> node_;
   std::set<Scheduler::Token> live_timers_;
   HostStats stats_;
@@ -215,6 +231,8 @@ class Simulation {
   const SimConfig& config() const { return config_; }
   SimHost& host(ProcessId p);
   const NetStats& net_stats() const { return net_stats_; }
+  /// Cluster-wide metrics registry (outside every crash boundary).
+  obs::MetricsRegistry& metrics_registry() { return registry_; }
   Rng& rng() { return rng_; }
   std::uint64_t events_fired() const { return scheduler_.fired(); }
 
@@ -230,6 +248,7 @@ class Simulation {
   SimConfig config_;
   Rng rng_;
   Scheduler scheduler_;
+  obs::MetricsRegistry registry_;
   NodeFactory factory_;
   std::vector<std::unique_ptr<SimHost>> hosts_;
   std::set<std::pair<ProcessId, ProcessId>> blocked_links_;

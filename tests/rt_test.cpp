@@ -8,6 +8,7 @@
 
 #include "apps/kv_store.hpp"
 #include "apps/rsm.hpp"
+#include "obs/trace_check.hpp"
 #include "rt/rt_cluster.hpp"
 #include "storage/file_storage.hpp"
 
@@ -106,6 +107,51 @@ TEST(Rt, CrashRecoveryRebuildsReplica) {
   c.cluster.recover(2);
   ASSERT_TRUE(c.cluster.wait_for(
       [&] { return c.read_int(2, "n") == 10; }, seconds(30)));
+}
+
+// The offline checker audits real threaded runs where the in-process
+// oracle cannot see: enable per-host trace rings, run through a
+// crash/recovery, and verify the merged trace upholds the AB properties.
+TEST(Rt, TraceRecorderAuditsThreadedRun) {
+  rt::RtConfig cfg{.n = 3, .seed = 7};
+  cfg.trace_capacity = 1 << 14;
+  core::StackConfig stack;
+  stack.ab.log_unordered = true;
+  RtKv c(cfg, stack);
+  c.cluster.start_all();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(c.with_node(static_cast<ProcessId>(i % 3), [](RsmNode& n) {
+      n.submit(KvCommand::add("n", 1));
+    }));
+  }
+  ASSERT_TRUE(c.cluster.wait_for(
+      [&] { return c.applied[0]->load() >= 10; }, seconds(30)));
+  c.cluster.crash(1);
+  c.cluster.recover(1);
+  ASSERT_TRUE(c.cluster.wait_for(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (c.read_int(p, "n") != 10) return false;
+        }
+        return true;
+      },
+      seconds(60)));
+
+  std::vector<obs::TraceEvent> merged;
+  for (ProcessId p = 0; p < 3; ++p) {
+    auto* rec = c.cluster.host(p).recorder();
+    ASSERT_NE(rec, nullptr);
+    auto events = rec->events();
+    EXPECT_FALSE(events.empty()) << "node " << p << " recorded nothing";
+    merged.insert(merged.end(), events.begin(), events.end());
+  }
+  // The run may still have stragglers in flight, so keep the lax
+  // (non-quiesced) Validity/Termination semantics.
+  const auto report = obs::check_trace(merged);
+  for (const auto& v : report.violations) ADD_FAILURE() << obs::to_string(v);
+  EXPECT_EQ(report.stats.nodes, 3u);
+  EXPECT_GT(report.stats.delivers, 0u);
+  EXPECT_GT(report.stats.log_writes, 0u);  // log_unordered => ab/ writes
 }
 
 TEST(Rt, DurableUnorderedSurvivesBroadcasterCrash) {

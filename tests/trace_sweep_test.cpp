@@ -1,0 +1,170 @@
+// The ISSUE's acceptance sweep for the observability subsystem: 100
+// randomized crash/recovery scenarios (both consensus engines, both protocol
+// variants), each recorded by per-host TraceRecorders, and every merged
+// trace must satisfy the paper's properties under the offline checker —
+// while mutated traces (a dropped deliver, a swapped order) must be flagged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "harness/fixture.hpp"
+#include "sim/fault_plan.hpp"
+#include "obs/trace_check.hpp"
+
+using namespace abcast;
+using namespace abcast::core;
+using namespace abcast::harness;
+
+namespace {
+
+constexpr std::uint32_t kN = 3;
+constexpr CrashPhase kPhases[] = {CrashPhase::kBeforeOp,
+                                  CrashPhase::kTornWrite, CrashPhase::kAfterOp};
+
+/// One randomized scenario with tracing on: storage crash-points on rotating
+/// victims, recovery, quiescence, then the offline checker over the merged
+/// trace. Returns the merged trace so the caller can mutate it.
+std::vector<obs::TraceEvent> run_seed(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.sim.n = kN;
+  cfg.sim.seed = seed;
+  cfg.sim.trace_capacity = 1 << 16;  // large enough that nothing drops
+  cfg.stack.engine = (seed % 2) ? ConsensusKind::kCoord : ConsensusKind::kPaxos;
+  const bool alternative = (seed / 2) % 2;
+  if (alternative) {
+    cfg.stack.ab = Options::alternative();
+    cfg.stack.ab.checkpoint_period = millis(50);
+  }
+  Cluster c(cfg);
+  c.start_all();
+  Rng rng(seed * 7919 + 17);
+
+  std::vector<MsgId> must_deliver;
+  must_deliver.push_back(c.broadcast(0, Bytes(16, 'w')));
+  EXPECT_TRUE(c.await_delivery(must_deliver, {}, seconds(60)))
+      << "seed " << seed;
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ProcessId victim = static_cast<ProcessId>((seed + i) % kN);
+    c.sim().storage_faults(victim).arm_crash_in(
+        1 + static_cast<std::uint64_t>(rng.uniform(0, 5)), kPhases[i]);
+    const ProcessId survivor = static_cast<ProcessId>((victim + 1) % kN);
+    for (int b = 0; b < 4 && c.sim().host(victim).is_up(); ++b) {
+      c.broadcast_may_crash(victim, Bytes(16, static_cast<std::uint8_t>(b)));
+      must_deliver.push_back(c.broadcast(survivor, Bytes(16, 's')));
+      c.sim().run_for(millis(25));
+    }
+    c.sim().run_until_pred([&] { return !c.sim().host(victim).is_up(); },
+                           c.sim().now() + millis(400));
+    if (c.sim().host(victim).is_up()) {
+      c.sim().storage_faults(victim).disarm_crash_point();
+      c.sim().crash(victim);
+    }
+    for (int tries = 0; !c.sim().host(victim).is_up(); ++tries) {
+      if (tries >= 10) {
+        ADD_FAILURE() << "seed " << seed << ": recovery keeps dying";
+        return {};
+      }
+      c.sim().recover(victim);
+    }
+    c.sim().run_for(millis(60));
+  }
+
+  EXPECT_TRUE(c.await_delivery(must_deliver, {}, seconds(120)))
+      << "seed " << seed;
+  // The checker's strict mode needs a fully quiesced end state (equal
+  // delivery prefixes, empty Unordered everywhere).
+  EXPECT_TRUE(c.await_quiesced(seconds(120))) << "seed " << seed;
+  EXPECT_EQ(c.trace_dropped(), 0u) << "seed " << seed;
+
+  obs::CheckOptions options;
+  options.require_quiesced = true;
+  options.basic_protocol = !alternative;
+  auto trace = c.collect_trace();
+  const auto report = obs::check_trace(trace, options);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << ": "
+                           << (report.ok()
+                                   ? std::string()
+                                   : obs::to_string(report.violations[0]));
+  EXPECT_GT(report.stats.delivers, 0u);
+  EXPECT_GT(report.stats.log_writes, 0u) << "TracingStorage not wired?";
+  return trace;
+}
+
+void run_range(std::uint64_t first_seed, std::uint64_t count) {
+  for (std::uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
+    run_seed(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+
+// 4 shards x 25 seeds = 100 randomized crash/recovery scenarios, every
+// merged trace audited by the offline checker.
+TEST(TraceSweep, Seeds0To24) { run_range(0, 25); }
+TEST(TraceSweep, Seeds25To49) { run_range(25, 25); }
+TEST(TraceSweep, Seeds50To74) { run_range(50, 25); }
+TEST(TraceSweep, Seeds75To99) { run_range(75, 25); }
+
+// Mutating a real trace must flip the verdict: the checker is only trusted
+// because it rejects corrupted histories.
+TEST(TraceSweep, MutatedTracesAreRejected) {
+  const auto trace = run_seed(5);  // coord engine, basic variant
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  obs::CheckOptions options;
+  options.require_quiesced = true;
+
+  ASSERT_TRUE(obs::check_trace(trace, options).ok());
+
+  {  // Drop a mid-run deliver: the next position jumps without a recovery
+     // or adoption to justify it, so continuity must trip.
+    auto mutated = trace;
+    std::vector<std::size_t> run;  // node-0 delivers since the last reset
+    std::size_t drop = mutated.size();
+    for (std::size_t j = 0; j < mutated.size() && drop == mutated.size();
+         ++j) {
+      const auto& e = mutated[j];
+      if (e.node != 0) continue;
+      switch (e.kind) {
+        case obs::EventKind::kCrash:
+        case obs::EventKind::kRecoverBegin:
+        case obs::EventKind::kStateTransfer:
+          run.clear();
+          break;
+        case obs::EventKind::kDeliver: {
+          run.push_back(j);
+          if (run.size() < 3) break;
+          const auto& a = mutated[run[run.size() - 3]];
+          const auto& b = mutated[run[run.size() - 2]];
+          const auto& d = mutated[run[run.size() - 1]];
+          if (a.arg + 1 == b.arg && b.arg + 1 == d.arg) {
+            drop = run[run.size() - 2];
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    ASSERT_LT(drop, mutated.size()) << "no droppable deliver found";
+    mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(drop));
+    EXPECT_FALSE(obs::check_trace(mutated, options).ok());
+  }
+  {  // Swap two adjacent delivered messages on one node: order diverges.
+    auto mutated = trace;
+    obs::TraceEvent* prev = nullptr;
+    for (auto& e : mutated) {
+      if (e.kind != obs::EventKind::kDeliver || e.node != 0) continue;
+      if (prev != nullptr && prev->msg != e.msg) {
+        std::swap(prev->msg, e.msg);
+        prev = nullptr;
+        break;
+      }
+      prev = &e;
+    }
+    ASSERT_EQ(prev, nullptr) << "no adjacent deliver pair to swap";
+    EXPECT_FALSE(obs::check_trace(mutated, options).ok());
+  }
+}

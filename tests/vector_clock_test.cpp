@@ -1,0 +1,103 @@
+// VectorClock unit tests: covers/observe, merge, dominance, and the codec
+// round-trip (the clock travels inside checkpoints, §5.2).
+#include <gtest/gtest.h>
+
+#include "common/codec.hpp"
+#include "core/vector_clock.hpp"
+
+namespace abcast::core {
+namespace {
+
+VectorClock make(std::initializer_list<std::uint64_t> seqs) {
+  VectorClock vc(static_cast<std::uint32_t>(seqs.size()));
+  ProcessId p = 0;
+  for (const auto s : seqs) {
+    if (s != 0) vc.observe(MsgId{p, s});
+    ++p;
+  }
+  return vc;
+}
+
+TEST(VectorClockTest, CoversAndObserve) {
+  VectorClock vc(3);
+  EXPECT_FALSE(vc.covers(MsgId{1, 1}));
+  vc.observe(MsgId{1, 1});
+  vc.observe(MsgId{1, 2});
+  EXPECT_TRUE(vc.covers(MsgId{1, 1}));
+  EXPECT_TRUE(vc.covers(MsgId{1, 2}));
+  EXPECT_FALSE(vc.covers(MsgId{1, 3}));
+  EXPECT_FALSE(vc.covers(MsgId{0, 1}));
+  EXPECT_EQ(vc.last_of(1), 2u);
+  EXPECT_EQ(vc.last_of(0), 0u);
+}
+
+TEST(VectorClockTest, ObserveMustAdvance) {
+  VectorClock vc(2);
+  vc.observe(MsgId{0, 2});
+  EXPECT_THROW(vc.observe(MsgId{0, 2}), InvariantViolation);
+  EXPECT_THROW(vc.observe(MsgId{0, 1}), InvariantViolation);
+}
+
+TEST(VectorClockTest, MergeIsPointwiseMax) {
+  VectorClock a = make({3, 0, 7});
+  const VectorClock b = make({1, 5, 7});
+  a.merge(b);
+  EXPECT_EQ(a, make({3, 5, 7}));
+  // Merge is idempotent and absorbs the argument.
+  a.merge(b);
+  EXPECT_EQ(a, make({3, 5, 7}));
+  EXPECT_TRUE(a.dominates(b));
+}
+
+TEST(VectorClockTest, MergeWithSelfIsIdentity) {
+  VectorClock a = make({2, 4});
+  a.merge(a);
+  EXPECT_EQ(a, make({2, 4}));
+}
+
+TEST(VectorClockTest, Dominance) {
+  const VectorClock lo = make({1, 2, 3});
+  const VectorClock hi = make({2, 2, 4});
+  const VectorClock conc = make({9, 0, 0});
+
+  EXPECT_TRUE(hi.dominates(lo));
+  EXPECT_FALSE(lo.dominates(hi));
+
+  // Equal clocks dominate each other.
+  EXPECT_TRUE(lo.dominates(make({1, 2, 3})));
+  EXPECT_TRUE(make({1, 2, 3}).dominates(lo));
+
+  // Concurrent clocks: neither dominates.
+  EXPECT_FALSE(conc.dominates(lo));
+  EXPECT_FALSE(lo.dominates(conc));
+
+  // The zero clock is dominated by everything.
+  EXPECT_TRUE(lo.dominates(VectorClock(3)));
+}
+
+TEST(VectorClockTest, WidthMismatchIsAnError) {
+  VectorClock a(2);
+  const VectorClock b(3);
+  EXPECT_THROW(a.merge(b), InvariantViolation);
+  EXPECT_THROW((void)a.dominates(b), InvariantViolation);
+}
+
+TEST(VectorClockTest, CodecRoundTrip) {
+  const VectorClock vc = make({0, 7, 123456789, 1});
+  BufWriter w;
+  vc.encode(w);
+  BufReader r(w.data());
+  const VectorClock back = VectorClock::decode(r);
+  EXPECT_EQ(back, vc);
+  EXPECT_EQ(back.size(), 4u);
+  EXPECT_EQ(back.last_of(2), 123456789u);
+
+  // Empty clock round-trips too.
+  BufWriter w2;
+  VectorClock(0).encode(w2);
+  BufReader r2(w2.data());
+  EXPECT_EQ(VectorClock::decode(r2), VectorClock(0));
+}
+
+}  // namespace
+}  // namespace abcast::core

@@ -1,0 +1,202 @@
+// tracecheck — offline checker for protocol traces (JSONL).
+//
+// Merges per-node trace files produced by obs::TraceRecorder::write_jsonl()
+// and verifies the paper's Atomic Broadcast properties (Validity, Integrity,
+// Termination-progress, uniform Total Order) plus log-minimality. See
+// src/obs/trace_check.hpp for the exact property definitions.
+//
+//   tracecheck [--basic] [--strict] [-q] trace1.jsonl [trace2.jsonl ...]
+//   tracecheck --selftest
+//
+//   --basic     the run used Options::basic(): any AB-layer log write is a
+//               violation (Fig. 2 logs only the consensus proposal)
+//   --strict    the trace ends quiesced: enable the strict Termination and
+//               Validity checks
+//   -q          quiet: print only violations, no stats
+//   --selftest  fabricate traces with known violations and verify the
+//               checker detects them (used by CI)
+//   -           reads a trace from stdin
+//
+// Exit code: 0 = all properties hold, 1 = violations found, 2 = bad usage
+// or unparsable input.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_check.hpp"
+
+namespace {
+
+using namespace abcast;
+using obs::CheckOptions;
+using obs::CheckReport;
+using obs::EventKind;
+using obs::TraceEvent;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tracecheck [--basic] [--strict] [-q] FILE...\n"
+               "       tracecheck --selftest\n");
+  return 2;
+}
+
+TraceEvent make_event(EventKind kind, ProcessId node, std::uint64_t seq,
+                      std::uint64_t k, MsgId msg, std::uint64_t arg,
+                      std::string detail = {}) {
+  TraceEvent e;
+  e.kind = kind;
+  e.node = node;
+  e.seq = seq;
+  e.t = static_cast<TimePoint>(seq);
+  e.k = k;
+  e.msg = msg;
+  e.arg = arg;
+  e.detail = std::move(detail);
+  return e;
+}
+
+/// A clean 2-node trace: node 0 broadcasts two messages, both nodes deliver
+/// them in the same order.
+std::vector<TraceEvent> fabricate_clean() {
+  const MsgId m0{0, 1}, m1{0, 2};
+  std::vector<TraceEvent> t;
+  t.push_back(make_event(EventKind::kBroadcast, 0, 0, 0, m0, 0));
+  t.push_back(make_event(EventKind::kBroadcast, 0, 1, 0, m1, 0));
+  t.push_back(make_event(EventKind::kDeliver, 0, 2, 0, m0, 0));
+  t.push_back(make_event(EventKind::kDeliver, 0, 3, 0, m1, 1));
+  t.push_back(make_event(EventKind::kDeliver, 1, 0, 0, m0, 0));
+  t.push_back(make_event(EventKind::kDeliver, 1, 1, 0, m1, 1));
+  return t;
+}
+
+bool expect(bool cond, const char* what) {
+  if (!cond) std::fprintf(stderr, "selftest FAILED: %s\n", what);
+  return cond;
+}
+
+/// Verifies the checker catches fabricated violations. Returns exit code.
+int selftest() {
+  CheckOptions strict;
+  strict.require_quiesced = true;
+  bool ok = true;
+
+  ok &= expect(obs::check_trace(fabricate_clean(), strict).ok(),
+               "clean trace must pass");
+
+  {  // dropped deliver: node 1 never delivers m1 -> Termination/TotalOrder
+    auto t = fabricate_clean();
+    t.pop_back();
+    ok &= expect(!obs::check_trace(t, strict).ok(),
+                 "dropped deliver must be detected");
+  }
+  {  // swapped order on node 1 -> Total Order violation
+    auto t = fabricate_clean();
+    std::swap(t[4].msg, t[5].msg);
+    ok &= expect(!obs::check_trace(t, strict).ok(),
+                 "swapped delivery order must be detected");
+  }
+  {  // duplicate delivery -> Integrity violation
+    auto t = fabricate_clean();
+    t.push_back(make_event(EventKind::kDeliver, 1, 2, 1, MsgId{0, 1}, 2));
+    ok &= expect(!obs::check_trace(t, strict).ok(),
+                 "duplicate delivery must be detected");
+  }
+  {  // AB-layer log write under --basic -> LogMinimality violation
+    auto t = fabricate_clean();
+    t.push_back(make_event(EventKind::kLogWrite, 0, 4, 0, MsgId{}, 8,
+                           "ab/ckpt"));
+    CheckOptions basic = strict;
+    basic.basic_protocol = true;
+    ok &= expect(!obs::check_trace(t, basic).ok(),
+                 "AB log write in basic mode must be detected");
+    ok &= expect(obs::check_trace(t, strict).ok(),
+                 "AB log write without --basic is legal");
+  }
+  {  // JSONL round-trip preserves verdicts
+    auto t = fabricate_clean();
+    std::swap(t[4].msg, t[5].msg);
+    std::stringstream ss;
+    for (const auto& e : t) ss << obs::event_to_json(e) << '\n';
+    const auto parsed = obs::parse_trace_jsonl(ss);
+    ok &= expect(parsed.size() == t.size(), "round-trip preserves events");
+    ok &= expect(!obs::check_trace(parsed, strict).ok(),
+                 "round-tripped violation must still be detected");
+  }
+
+  if (ok) std::puts("selftest OK");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CheckOptions options;
+  bool quiet = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--basic") {
+      options.basic_protocol = true;
+    } else if (arg == "--strict") {
+      options.require_quiesced = true;
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (arg == "--selftest") {
+      return selftest();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage();
+
+  std::vector<TraceEvent> merged;
+  for (const auto& file : files) {
+    try {
+      std::vector<TraceEvent> events;
+      if (file == "-") {
+        events = obs::parse_trace_jsonl(std::cin);
+      } else {
+        std::ifstream in(file);
+        if (!in) {
+          std::fprintf(stderr, "tracecheck: cannot open %s\n", file.c_str());
+          return 2;
+        }
+        events = obs::parse_trace_jsonl(in);
+      }
+      merged.insert(merged.end(), events.begin(), events.end());
+    } catch (const CodecError& e) {
+      std::fprintf(stderr, "tracecheck: %s: %s\n", file.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  const CheckReport report = obs::check_trace(merged, options);
+  if (!quiet) {
+    std::printf("%zu events, %zu nodes, %zu broadcasts, %zu delivers "
+                "(%zu unique), positions [0, %llu)\n",
+                report.stats.events, report.stats.nodes,
+                report.stats.broadcasts, report.stats.delivers,
+                report.stats.unique_delivered,
+                static_cast<unsigned long long>(report.stats.max_position));
+    for (const auto& w : report.warnings) {
+      std::printf("warning: %s\n", w.c_str());
+    }
+  }
+  for (const auto& v : report.violations) {
+    std::printf("VIOLATION %s\n", obs::to_string(v).c_str());
+  }
+  if (!quiet) {
+    std::printf("%s\n", report.ok() ? "OK" : "FAILED");
+  }
+  return report.ok() ? 0 : 1;
+}
