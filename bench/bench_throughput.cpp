@@ -31,7 +31,8 @@ void run_tables() {
          "orders a whole batch); early-return batching >> closed-loop at "
          "high offered load.");
 
-  const int kTotal = 400;
+  const int kTotal = bench_quick() ? 120 : 400;
+  const int kClosed = bench_quick() ? 30 : 100;
   {
     Table t({"client mode", "batch", "elapsed ms", "msgs/s", "rounds",
              "msgs/round", "p50 ms", "p99 ms"});
@@ -39,15 +40,19 @@ void run_tables() {
     {
       Cluster c(make_config(false, 201));
       c.start_all();
-      const auto r = run_closed_loop(c, 100);  // slow: fewer msgs
+      const auto r = run_closed_loop(c, kClosed);  // slow: fewer msgs
       t.row({"closed-loop (basic)", "1",
              Table::num(static_cast<double>(r.elapsed) / 1e6),
              Table::num(r.throughput_per_sec(), 0), fmt_u64(r.rounds),
-             Table::num(100.0 / static_cast<double>(r.rounds), 1),
+             Table::num(static_cast<double>(kClosed) /
+                        static_cast<double>(r.rounds), 1),
              Table::num(r.latency.p50_ms), Table::num(r.latency.p99_ms)});
     }
     // Open loop with durable Unordered (§5.4 early return): batch sweep.
-    for (const int batch : {1, 2, 4, 8, 16, 32, 64}) {
+    const std::vector<int> batches =
+        bench_quick() ? std::vector<int>{4, 16, 64}
+                      : std::vector<int>{1, 2, 4, 8, 16, 32, 64};
+    for (const int batch : batches) {
       Cluster c(make_config(true, 202));
       c.start_all();
       const auto r = run_open_loop(c, kTotal, batch, millis(5));
@@ -77,8 +82,12 @@ void run_tables() {
   {
     Table t({"gap ms", "msgs/s offered", "msgs/s achieved", "rounds",
              "p99 ms"});
-    for (const Duration gap : {millis(50), millis(20), millis(10), millis(5),
-                               millis(2), millis(1)}) {
+    const std::vector<Duration> gaps =
+        bench_quick()
+            ? std::vector<Duration>{millis(20), millis(5)}
+            : std::vector<Duration>{millis(50), millis(20), millis(10),
+                                    millis(5), millis(2), millis(1)};
+    for (const Duration gap : gaps) {
       Cluster c(make_config(true, 203));
       c.start_all();
       const auto r = run_open_loop(c, kTotal, 16, gap);

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -125,6 +126,14 @@ inline double project_latency_ms(double base_ms, double log_ops_per_msg,
 }
 
 inline std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+
+/// True when ABCAST_BENCH_QUICK is set (non-empty): experiment binaries trim
+/// their sweeps to smoke-test size. CI uses this to validate the bench
+/// pipeline and artifact format without paying for the full sweeps.
+inline bool bench_quick() {
+  const char* v = std::getenv("ABCAST_BENCH_QUICK");
+  return v != nullptr && *v != '\0';
+}
 
 /// Prints the standard experiment banner.
 inline void banner(const char* id, const char* claim) {

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the experiment binaries and collects their machine-readable results.
+#
+#   scripts/run_bench.sh                # full sweeps -> BENCH_*.json
+#   scripts/run_bench.sh --quick        # smoke-test sweeps (CI)
+#   scripts/run_bench.sh --out DIR      # write the JSONL files into DIR
+#
+# Each binary prints its experiment tables to stdout and appends one JSON
+# row per measured configuration to BENCH_<name>.json (JSONL). The
+# google-benchmark wall-clock registrations are skipped (--benchmark_filter
+# that matches nothing): the experiment numbers are virtual-time
+# measurements and already deterministic.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build"
+OUT="${ROOT}"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) export ABCAST_BENCH_QUICK=1; shift ;;
+    --out) OUT="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake --build "${BUILD}" -j"$(nproc)" --target bench_gossip bench_throughput
+
+mkdir -p "${OUT}"
+for bench in gossip throughput; do
+  "${BUILD}/bench/bench_${bench}" \
+    "--metrics-json=${OUT}/BENCH_${bench}.json" \
+    "--benchmark_filter=^\$"
+done
+
+echo
+echo "Result rows:"
+wc -l "${OUT}"/BENCH_gossip.json "${OUT}"/BENCH_throughput.json

@@ -32,6 +32,40 @@ struct GossipMsg {
   }
 };
 
+/// Digest-mode gossip datagram (MsgType::kAbGossipDigest). A periodic tick
+/// sends it with an empty `msgs` — (k, total, cover) is the whole
+/// anti-entropy advertisement, a few bytes per sender regardless of backlog.
+/// A delta reply or an eager push carries the missing per-sender suffixes in
+/// `msgs`, each suffix in seq order so the receiver's contiguity guard can
+/// accept it chain-link by chain-link.
+struct DigestMsg {
+  std::uint64_t k = 0;
+  std::uint64_t total = 0;
+  /// True on pull requests: "compare my cover against yours and send me a
+  /// delta". Replies set it only when the replier itself lacks coverage, so
+  /// an exchange terminates as soon as both sides are even.
+  bool want_reply = false;
+  std::vector<std::uint64_t> cover;  // per-sender coverage, size = group
+  std::vector<AppMsg> msgs;          // delta payload (empty on pure digests)
+
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(total);
+    w.boolean(want_reply);
+    w.vec(cover, [](BufWriter& ww, std::uint64_t c) { ww.u64(c); });
+    w.vec(msgs, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
+  }
+  static DigestMsg decode(BufReader& r) {
+    DigestMsg m;
+    m.k = r.u64();
+    m.total = r.u64();
+    m.want_reply = r.boolean();
+    m.cover = r.vec<std::uint64_t>([](BufReader& rr) { return rr.u64(); });
+    m.msgs = r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
+    return m;
+  }
+};
+
 struct StateMsg {
   std::uint64_t k = 0;  // sender's round minus one (paper Fig. 3, line d)
   bool trimmed = false;
@@ -103,6 +137,17 @@ void AtomicBroadcast::bind_metrics() {
   metrics_group_.bind("ab_gossip_sent", labels, &metrics_.gossip_sent);
   metrics_group_.bind("ab_gossip_received", labels,
                       &metrics_.gossip_received);
+  metrics_group_.bind("ab_gossip_bytes_sent", labels,
+                      &metrics_.gossip_bytes_sent);
+  metrics_group_.bind("ab_digest_sent", labels, &metrics_.digest_sent);
+  metrics_group_.bind("ab_delta_sent", labels, &metrics_.delta_sent);
+  metrics_group_.bind("ab_delta_msgs_sent", labels,
+                      &metrics_.delta_msgs_sent);
+  metrics_group_.bind("ab_delta_rejected", labels, &metrics_.delta_rejected);
+  metrics_group_.bind("ab_gossip_suppressed", labels,
+                      &metrics_.gossip_suppressed);
+  metrics_group_.bind("ab_proposal_cache_hits", labels,
+                      &metrics_.proposal_cache_hits);
   metrics_group_.bind("ab_state_sent", labels, &metrics_.state_sent);
   metrics_group_.bind("ab_state_sent_trimmed", labels,
                       &metrics_.state_sent_trimmed);
@@ -118,6 +163,7 @@ void AtomicBroadcast::start(bool recovering, std::uint64_t incarnation) {
   started_ = true;
   incarnation_ = incarnation;
   counter_ = 0;
+  peers_.assign(env_.group_size(), PeerView{});
 
   if (recovering) {
     // §5.1: resume from the logged (k, Agreed) checkpoint when present;
@@ -228,6 +274,7 @@ MsgId AtomicBroadcast::broadcast(Bytes payload) {
   m.payload = std::move(payload);
   const MsgId id = m.id;
   unordered_.emplace(id, std::move(m));
+  touch_unordered();
   metrics_.broadcasts += 1;
   trace(obs::EventKind::kBroadcast, k_, id);
 
@@ -244,15 +291,24 @@ MsgId AtomicBroadcast::broadcast(Bytes payload) {
   }
 
   if (options_.eager_dissemination) {
-    // Send the WHOLE unordered set, exactly like a gossip tick — never a
-    // single message. Correctness depends on gossip sets being monotone:
-    // any process holding an unagreed message also holds that sender's
-    // earlier unagreed ones, which is what makes the vector-clock
-    // duplicate-suppression rule in AgreedLog safe. A single-message
-    // datagram racing ahead of its predecessor on the non-FIFO channel
-    // would let a proposal contain (p,s+1) without (p,s) and drop (p,s)
-    // everywhere.
-    send_gossip_now();
+    if (options_.digest_gossip) {
+      // The receiver-side contiguity guard makes single-suffix pushes safe:
+      // a datagram racing ahead of its predecessor on the non-FIFO channel
+      // is simply rejected until the predecessor lands (or the next
+      // anti-entropy round repairs it). Ship each peer only what our view
+      // says it is missing.
+      send_eager_deltas();
+    } else {
+      // Send the WHOLE unordered set, exactly like a gossip tick — never a
+      // single message. Correctness depends on gossip sets being monotone:
+      // any process holding an unagreed message also holds that sender's
+      // earlier unagreed ones, which is what makes the vector-clock
+      // duplicate-suppression rule in AgreedLog safe. A single-message
+      // datagram racing ahead of its predecessor on the non-FIFO channel
+      // would let a proposal contain (p,s+1) without (p,s) and drop (p,s)
+      // everywhere.
+      send_gossip_now();
+    }
   }
 
   maybe_propose();
@@ -281,6 +337,7 @@ void AtomicBroadcast::prune_unordered() {
     if (agreed_.contains(it->first)) {
       erase_unordered_record(it->first);
       it = unordered_.erase(it);
+      touch_unordered();
     } else {
       ++it;
     }
@@ -293,12 +350,22 @@ void AtomicBroadcast::maybe_propose() {
   // fine — the decision is already locked without our input).
   if (cons_.proposed(k_)) return;
   if (unordered_.empty() && gossip_k_ <= k_) return;
-  std::vector<AppMsg> batch;
-  batch.reserve(unordered_.size());
-  for (const auto& [id, m] : unordered_) batch.push_back(m);
+  if (!proposal_cache_valid_) {
+    // Encode straight off the map — it already iterates in MsgId order, the
+    // deterministic batch order — and keep the bytes until unordered_ next
+    // changes: consecutive rounds proposing the same backlog (common while
+    // peers catch up) reuse the encoding instead of re-serializing it.
+    BufWriter w;
+    w.u32(static_cast<std::uint32_t>(unordered_.size()));
+    for (const auto& [id, m] : unordered_) m.encode(w);
+    proposal_cache_ = std::move(w).take();
+    proposal_cache_valid_ = true;
+  } else {
+    metrics_.proposal_cache_hits += 1;
+  }
   metrics_.proposals += 1;
-  if (batch.empty()) metrics_.empty_proposals += 1;
-  cons_.propose(k_, encode_batch(batch));
+  if (unordered_.empty()) metrics_.empty_proposals += 1;
+  cons_.propose(k_, proposal_cache_);
 }
 
 void AtomicBroadcast::on_decided(InstanceId k, const Bytes& value) {
@@ -321,57 +388,334 @@ void AtomicBroadcast::apply_batch(const Bytes& value) {
   std::uint64_t pos = agreed_.total() - delivered.size();
   for (auto& m : delivered) {
     erase_unordered_record(m.id);
-    unordered_.erase(m.id);
+    if (unordered_.erase(m.id) > 0) touch_unordered();
     metrics_.delivered += 1;
     trace(obs::EventKind::kDeliver, k_, m.id, pos++);
     sink_.deliver(m);
   }
   // Messages that were in the decided batch but skipped as stale are also
   // covered by Agreed now; drop any lingering unordered copies.
-  for (auto it = unordered_.begin(); it != unordered_.end();) {
-    if (agreed_.contains(it->first)) {
-      erase_unordered_record(it->first);
-      it = unordered_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  prune_unordered();
   k_ += 1;
   metrics_.rounds_completed += 1;
+  gossip_dirty_ = true;  // round + total advanced: peers should hear about it
 }
 
+std::vector<std::uint64_t> AtomicBroadcast::compute_cover() const {
+  std::vector<std::uint64_t> cover(env_.group_size(), 0);
+  for (std::size_t p = 0; p < cover.size(); ++p) {
+    cover[p] = agreed_.vc().last_of(static_cast<ProcessId>(p));
+  }
+  for (const auto& [id, m] : unordered_) {
+    if (id.sender < cover.size() && seq_extends(cover[id.sender], id.seq)) {
+      cover[id.sender] = id.seq;
+    }
+  }
+  return cover;
+}
+
+namespace {
+
+/// The suffixes of our per-sender unordered chains that a peer standing at
+/// `peer_cover` can accept, in map (= sender, seq) order. The walk advances
+/// a per-sender cursor from the peer's cover through our chain; anything
+/// that would not extend the peer's coverage (it already has it, or a gap
+/// separates it) is skipped — its guard would reject it anyway.
+std::vector<const AppMsg*> plan_delta(
+    const std::map<MsgId, AppMsg>& unordered,
+    const std::vector<std::uint64_t>& peer_cover) {
+  std::vector<const AppMsg*> plan;
+  ProcessId cur = 0;
+  bool have_cur = false;
+  std::uint64_t cursor = 0;
+  for (const auto& [id, m] : unordered) {
+    if (!have_cur || id.sender != cur) {
+      cur = id.sender;
+      have_cur = true;
+      cursor = id.sender < peer_cover.size()
+                   ? peer_cover[id.sender]
+                   : std::numeric_limits<std::uint64_t>::max();
+    }
+    if (seq_extends(cursor, id.seq)) {
+      plan.push_back(&m);
+      cursor = id.seq;
+    }
+  }
+  return plan;
+}
+
+/// Encodes a kAbGossipDigest wire without materializing a DigestMsg (the
+/// delta entries are referenced in place, never copied).
+Wire make_digest_wire(std::uint64_t k, std::uint64_t total, bool want_reply,
+                      const std::vector<std::uint64_t>& cover,
+                      const std::vector<const AppMsg*>& msgs) {
+  BufWriter w;
+  w.u64(k);
+  w.u64(total);
+  w.boolean(want_reply);
+  w.vec(cover, [](BufWriter& ww, std::uint64_t c) { ww.u64(c); });
+  w.u32(static_cast<std::uint32_t>(msgs.size()));
+  for (const auto* m : msgs) m->encode(w);
+  return Wire{MsgType::kAbGossipDigest, std::move(w).take()};
+}
+
+}  // namespace
+
 void AtomicBroadcast::send_gossip_now() {
-  GossipMsg g;
-  g.k = k_;
-  g.total = agreed_.total();
-  g.unordered.reserve(unordered_.size());
-  for (const auto& [id, m] : unordered_) g.unordered.push_back(m);
-  env_.multisend(make_wire(MsgType::kAbGossip, g));
+  if (options_.digest_gossip) {
+    // Anti-entropy advertisement: a few bytes per sender, independent of
+    // how many messages are waiting. want_reply pulls deltas from peers.
+    const Wire wire =
+        make_digest_wire(k_, agreed_.total(), /*want_reply=*/true,
+                         compute_cover(), {});
+    metrics_.gossip_bytes_sent += wire.payload.size() * env_.group_size();
+    env_.multisend(wire);
+    metrics_.gossip_sent += 1;
+    metrics_.digest_sent += 1;
+    trace(obs::EventKind::kGossipSend, k_, MsgId{}, unordered_.size(),
+          "digest");
+    return;
+  }
+  // Full-set mode: encode the datagram straight off unordered_ — no
+  // intermediate vector of AppMsg copies — and let multisend share the one
+  // encoding across every recipient.
+  BufWriter w;
+  w.u64(k_);
+  w.u64(agreed_.total());
+  w.u32(static_cast<std::uint32_t>(unordered_.size()));
+  for (const auto& [id, m] : unordered_) m.encode(w);
+  const Wire wire{MsgType::kAbGossip, std::move(w).take()};
+  metrics_.gossip_bytes_sent += wire.payload.size() * env_.group_size();
+  env_.multisend(wire);
   metrics_.gossip_sent += 1;
-  trace(obs::EventKind::kGossipSend, k_, MsgId{}, unordered_.size());
+  trace(obs::EventKind::kGossipSend, k_, MsgId{}, unordered_.size(), "full");
+}
+
+bool AtomicBroadcast::gossip_needed() const {
+  if (gossip_dirty_) return true;
+  if (gossip_k_ > k_) return true;  // we lag: keep soliciting help
+  const auto my_cover =
+      options_.digest_gossip ? compute_cover() : std::vector<std::uint64_t>{};
+  for (std::size_t p = 0; p < peers_.size(); ++p) {
+    if (p == env_.self()) continue;
+    const PeerView& view = peers_[p];
+    if (!view.heard) return true;
+    if (view.k < k_ || view.total < agreed_.total()) return true;
+    if (!my_cover.empty() && view.cover.size() == my_cover.size()) {
+      for (std::size_t q = 0; q < my_cover.size(); ++q) {
+        // Either direction: the peer lags us (keep advertising so it pulls)
+        // or we lag the peer (our digest is the pull).
+        if (view.cover[q] != my_cover[q]) return true;
+      }
+    }
+  }
+  return false;
 }
 
 void AtomicBroadcast::gossip_tick() {
-  send_gossip_now();
+  bool send = true;
+  if (options_.suppress_idle_gossip) {
+    idle_ticks_ += 1;
+    // Keepalive floor: even a fully idle group gossips every N periods, so
+    // the fair-lossy channel still delivers our view infinitely often (the
+    // round-lag and cover-lag repairs below depend on that).
+    send = idle_ticks_ >= options_.gossip_keepalive_periods ||
+           gossip_needed();
+  }
+  if (send) {
+    send_gossip_now();
+    idle_ticks_ = 0;
+    gossip_dirty_ = false;
+  } else {
+    metrics_.gossip_suppressed += 1;
+  }
   env_.schedule_after(options_.gossip_period, [this] { gossip_tick(); });
+}
+
+void AtomicBroadcast::send_eager_deltas() {
+  const auto my_cover = compute_cover();
+  for (std::size_t p = 0; p < peers_.size(); ++p) {
+    if (p == env_.self()) continue;
+    PeerView& view = peers_[p];
+    if (view.cover.size() != my_cover.size()) {
+      // No digest heard from this peer yet: assume it holds our agreed
+      // prefix and nothing more. Wrong guesses are cheap — its contiguity
+      // guard drops what it cannot take and the next anti-entropy round
+      // repairs the view.
+      view.cover.resize(my_cover.size(), 0);
+      for (std::size_t q = 0; q < view.cover.size(); ++q) {
+        view.cover[q] = agreed_.vc().last_of(static_cast<ProcessId>(q));
+      }
+    }
+    const auto plan = plan_delta(unordered_, view.cover);
+    if (plan.empty()) continue;
+    const Wire wire = make_digest_wire(k_, agreed_.total(),
+                                       /*want_reply=*/false, my_cover, plan);
+    metrics_.gossip_bytes_sent += wire.payload.size();
+    env_.send(static_cast<ProcessId>(p), wire);
+    metrics_.delta_sent += 1;
+    metrics_.delta_msgs_sent += plan.size();
+    // Optimistically assume delivery so back-to-back broadcasts ship each
+    // message once; the peer's next digest overwrites with the truth.
+    for (const auto* m : plan) view.cover[m->id.sender] = m->id.seq;
+    trace(obs::EventKind::kGossipSend, k_, MsgId{}, plan.size(), "eager");
+  }
+}
+
+void AtomicBroadcast::maybe_send_delta_reply(ProcessId to) {
+  PeerView& view = peers_[to];
+  const auto my_cover = compute_cover();
+  if (view.cover.size() != my_cover.size()) return;
+  const auto plan = plan_delta(unordered_, view.cover);
+  bool i_lack = false;
+  for (std::size_t q = 0; q < my_cover.size(); ++q) {
+    if (view.cover[q] > my_cover[q]) {
+      i_lack = true;
+      break;
+    }
+  }
+  // Nothing to ship and nothing to pull: the exchange is settled. This is
+  // what terminates digest ping-pong between even peers.
+  if (plan.empty() && !i_lack) return;
+  const TimePoint now = env_.now();
+  if (now < view.next_delta_ok) return;  // rate limit per peer
+  view.next_delta_ok = now + options_.delta_reply_interval;
+  const Wire wire = make_digest_wire(k_, agreed_.total(),
+                                     /*want_reply=*/i_lack, my_cover, plan);
+  metrics_.gossip_bytes_sent += wire.payload.size();
+  env_.send(to, wire);
+  metrics_.delta_sent += 1;
+  metrics_.delta_msgs_sent += plan.size();
+  for (const auto* m : plan) view.cover[m->id.sender] = m->id.seq;
+  trace(obs::EventKind::kGossipSend, k_, MsgId{}, plan.size(), "delta");
+}
+
+std::size_t AtomicBroadcast::merge_delta(std::vector<AppMsg> msgs) {
+  if (msgs.empty()) return 0;
+  // Contiguity guard: accept a message only if it extends the local
+  // per-sender coverage. This is what keeps the Unordered set a gap-free
+  // chain above the Agreed vector clock no matter how deltas are pushed,
+  // reordered, duplicated, or lost — the property the AgreedLog
+  // duplicate-suppression rule depends on.
+  static constexpr std::size_t kReorderBufCap = 1024;
+  std::size_t rejected = 0;
+  auto cover = compute_cover();
+  for (auto& m : msgs) {
+    const MsgId id = m.id;
+    if (id.sender >= cover.size()) continue;  // malformed sender: drop
+    if (id.seq <= cover[id.sender]) continue;  // already covered / superseded
+    if (!seq_extends(cover[id.sender], id.seq)) {
+      // Racing ahead of its predecessor on the non-FIFO channel: park it
+      // until the chain below fills in, so the reorder costs no retransmit.
+      metrics_.delta_rejected += 1;
+      rejected += 1;
+      if (reorder_buf_.size() < kReorderBufCap) {
+        reorder_buf_.try_emplace(id, std::move(m));
+      }
+      continue;
+    }
+    cover[id.sender] = id.seq;
+    const auto [it, inserted] = unordered_.try_emplace(id, std::move(m));
+    if (inserted) touch_unordered();
+  }
+  // Drain the reorder buffer: repeatedly admit entries the guard now
+  // accepts (MsgId order walks each sender's parked run in seq order, so
+  // one sweep usually finishes; a second confirms the fixpoint). Entries
+  // at or below cover are stale — drop them here, which also garbage
+  // collects the buffer as rounds advance.
+  bool progress = !reorder_buf_.empty();
+  while (progress) {
+    progress = false;
+    for (auto it = reorder_buf_.begin(); it != reorder_buf_.end();) {
+      const MsgId id = it->first;
+      if (id.seq <= cover[id.sender]) {
+        it = reorder_buf_.erase(it);
+        continue;
+      }
+      if (!seq_extends(cover[id.sender], id.seq)) {
+        ++it;
+        continue;
+      }
+      cover[id.sender] = id.seq;
+      const auto [uit, inserted] =
+          unordered_.try_emplace(id, std::move(it->second));
+      if (inserted) touch_unordered();
+      it = reorder_buf_.erase(it);
+      progress = true;
+    }
+  }
+  return rejected;
+}
+
+void AtomicBroadcast::maybe_send_pull(ProcessId to) {
+  // A rejected delta means the sender holds something we cannot take yet —
+  // usually a push that overtook its predecessor. Its optimistic view now
+  // believes we have it, so waiting for the periodic tick would put a whole
+  // gossip period into the delivery tail. Instead, advertise our true cover
+  // back right away (rate-limited); the sender re-plans a delta from it.
+  PeerView& view = peers_[to];
+  const TimePoint now = env_.now();
+  if (now < view.next_pull_ok) return;
+  view.next_pull_ok = now + options_.delta_reply_interval;
+  const Wire wire = make_digest_wire(k_, agreed_.total(),
+                                     /*want_reply=*/true, compute_cover(), {});
+  metrics_.gossip_bytes_sent += wire.payload.size();
+  env_.send(to, wire);
+  metrics_.digest_sent += 1;
+  trace(obs::EventKind::kGossipSend, k_, MsgId{}, 0, "pull");
+}
+
+void AtomicBroadcast::handle_round_info(ProcessId from, std::uint64_t peer_k,
+                                        std::uint64_t peer_total) {
+  if (peer_k > k_) {
+    gossip_k_ = std::max(gossip_k_, peer_k);  // the sender is ahead
+  } else if (options_.state_transfer && k_ > peer_k + options_.delta) {
+    send_state(from, peer_total);  // Fig. 3 line d: sender lags far behind
+  } else if (peer_k < k_) {
+    // The sender lags within Δ (or state transfer is off): push it the
+    // decisions it is missing — its original deciders may be gone.
+    cons_.offer_decisions(from, peer_k, 16);
+  }
 }
 
 void AtomicBroadcast::on_message(ProcessId from, const Wire& msg) {
   if (msg.type == MsgType::kAbGossip) {
-    const auto g = decode_from_bytes<GossipMsg>(msg.payload);
+    auto g = decode_from_bytes<GossipMsg>(msg.payload);
     metrics_.gossip_received += 1;
-    trace(obs::EventKind::kGossipRecv, g.k, MsgId{}, from);
-    for (const auto& m : g.unordered) {
-      if (!agreed_.contains(m.id)) unordered_.emplace(m.id, m);
+    trace(obs::EventKind::kGossipRecv, g.k, MsgId{}, from, "full");
+    if (from < peers_.size()) {
+      PeerView& view = peers_[from];
+      view.heard = true;
+      view.k = g.k;
+      view.total = g.total;
     }
-    if (g.k > k_) {
-      gossip_k_ = std::max(gossip_k_, g.k);  // the sender is ahead
-    } else if (options_.state_transfer && k_ > g.k + options_.delta) {
-      send_state(from, g.total);  // Fig. 3 line d: the sender lags far behind
-    } else if (g.k < k_) {
-      // The sender lags within Δ (or state transfer is off): push it the
-      // decisions it is missing — its original deciders may be gone.
-      cons_.offer_decisions(from, g.k, 16);
+    for (auto& m : g.unordered) {
+      const MsgId id = m.id;
+      if (agreed_.contains(id)) continue;
+      const auto [it, inserted] = unordered_.try_emplace(id, std::move(m));
+      if (inserted) touch_unordered();
+    }
+    handle_round_info(from, g.k, g.total);
+    drain();
+    return;
+  }
+  if (msg.type == MsgType::kAbGossipDigest) {
+    auto g = decode_from_bytes<DigestMsg>(msg.payload);
+    metrics_.gossip_received += 1;
+    trace(obs::EventKind::kGossipRecv, g.k, MsgId{}, from,
+          g.msgs.empty() ? "digest" : "delta");
+    if (from < peers_.size() && g.cover.size() == env_.group_size()) {
+      PeerView& view = peers_[from];
+      view.heard = true;
+      view.k = g.k;
+      view.total = g.total;
+      view.cover = g.cover;  // received truth overwrites optimism
+    }
+    const std::size_t rejected = merge_delta(std::move(g.msgs));
+    handle_round_info(from, g.k, g.total);
+    if (from != env_.self()) {
+      if (g.want_reply) maybe_send_delta_reply(from);
+      if (rejected > 0) maybe_send_pull(from);
     }
     drain();
     return;
@@ -442,12 +786,13 @@ void AtomicBroadcast::adopt_trimmed_state(std::uint64_t state_k,
   std::uint64_t pos = agreed_.total() - delivered.size();
   for (const auto& m : delivered) {
     erase_unordered_record(m.id);
-    unordered_.erase(m.id);
+    if (unordered_.erase(m.id) > 0) touch_unordered();
     metrics_.delivered += 1;
     trace(obs::EventKind::kDeliver, k_, m.id, pos++);
     sink_.deliver(m);
   }
   k_ = state_k + 1;
+  gossip_dirty_ = true;
   metrics_.state_applied += 1;
   prune_unordered();
   if (options_.checkpointing) take_checkpoint();
@@ -469,6 +814,7 @@ void AtomicBroadcast::adopt_state(std::uint64_t state_k, AgreedLog incoming) {
   }
   agreed_ = std::move(incoming);
   k_ = state_k + 1;
+  gossip_dirty_ = true;
   metrics_.state_applied += 1;
   prune_unordered();
   if (options_.checkpointing) {

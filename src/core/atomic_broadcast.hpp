@@ -24,8 +24,10 @@
 #pragma once
 
 #include <map>
+#include <vector>
 
 #include "common/types.hpp"
+#include "core/app_msg.hpp"
 #include "consensus/consensus.hpp"
 #include "core/agreed_log.hpp"
 #include "core/delivery_sink.hpp"
@@ -46,6 +48,18 @@ struct AbMetrics {
   std::uint64_t empty_proposals = 0;   // proposals for missed rounds
   std::uint64_t gossip_sent = 0;
   std::uint64_t gossip_received = 0;
+  /// Gossip payload bytes produced (payload size × recipients), across
+  /// full-set, digest, delta, and eager datagrams.
+  std::uint64_t gossip_bytes_sent = 0;
+  std::uint64_t digest_sent = 0;       // digest-only multisends (anti-entropy)
+  std::uint64_t delta_sent = 0;        // per-peer delta datagrams (reply+eager)
+  std::uint64_t delta_msgs_sent = 0;   // AppMsgs shipped inside deltas
+  /// Delta messages that did not extend the local per-sender coverage on
+  /// arrival (a push overtook its predecessor on the non-FIFO channel) and
+  /// were parked in the reorder buffer; see DESIGN.md.
+  std::uint64_t delta_rejected = 0;
+  std::uint64_t gossip_suppressed = 0;  // idle ticks skipped (satellite 1)
+  std::uint64_t proposal_cache_hits = 0;  // proposals reusing cached encoding
   std::uint64_t state_sent = 0;
   std::uint64_t state_sent_trimmed = 0;  // of which tail-only (§5.3 opt.)
   std::uint64_t state_applied = 0;       // state transfers adopted
@@ -93,9 +107,18 @@ class AtomicBroadcast {
   /// Number of messages awaiting ordering.
   std::size_t unordered_size() const { return unordered_.size(); }
 
+  /// The Unordered set itself (tests: chain-invariant checks).
+  const std::map<MsgId, AppMsg>& unordered() const { return unordered_; }
+
+  /// Per-sender coverage digest: for every sender p, the highest seq such
+  /// that agreed ∪ unordered holds p's whole chain up to it (see DESIGN.md
+  /// "Digest gossip").
+  std::vector<std::uint64_t> compute_cover() const;
+
   // ---- wiring ------------------------------------------------------------
   bool handles(MsgType type) const {
-    return type == MsgType::kAbGossip || type == MsgType::kAbState;
+    return type == MsgType::kAbGossip || type == MsgType::kAbGossipDigest ||
+           type == MsgType::kAbState;
   }
   void on_message(ProcessId from, const Wire& msg);
   /// Route of the Consensus decided callback.
@@ -109,8 +132,34 @@ class AtomicBroadcast {
   const Options& options() const { return options_; }
 
  private:
+  /// What this process last learned (or optimistically assumes) about a
+  /// peer's progress. Fed by incoming gossip of either kind; `cover` only by
+  /// digest gossip (and by our own optimistic bumps after eager pushes).
+  struct PeerView {
+    bool heard = false;
+    std::uint64_t k = 0;
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> cover;  // empty until known/assumed
+    TimePoint next_delta_ok = 0;       // delta-reply rate limiter
+    TimePoint next_pull_ok = 0;        // reorder-repair pull rate limiter
+  };
+
   void send_gossip_now();
   void gossip_tick();
+  bool gossip_needed() const;
+  void send_eager_deltas();
+  void maybe_send_delta_reply(ProcessId to);
+  void maybe_send_pull(ProcessId to);
+  /// Returns the number of messages the contiguity guard rejected.
+  std::size_t merge_delta(std::vector<AppMsg> msgs);
+  void handle_round_info(ProcessId from, std::uint64_t peer_k,
+                         std::uint64_t peer_total);
+  /// Invalidates the cached proposal encoding and marks gossip dirty; call
+  /// after EVERY unordered_ mutation.
+  void touch_unordered() {
+    proposal_cache_valid_ = false;
+    gossip_dirty_ = true;
+  }
   void checkpoint_tick();
   void take_checkpoint();
   void maybe_propose();
@@ -147,6 +196,16 @@ class AtomicBroadcast {
   std::uint64_t incarnation_ = 0;
   std::uint64_t counter_ = 0;    // per-incarnation broadcast counter
   std::map<ProcessId, TimePoint> last_state_sent_;
+  std::vector<PeerView> peers_;  // indexed by ProcessId; sized in start()
+  /// Volatile staging for delta messages that arrived ahead of their
+  /// per-sender predecessor: merged into unordered_ as soon as the chain
+  /// below them fills in, so a datagram reorder costs no extra round trip.
+  /// Bounded; never logged (a lost entry is re-shipped by anti-entropy).
+  std::map<MsgId, AppMsg> reorder_buf_;
+  bool gossip_dirty_ = true;     // something changed since the last tick send
+  std::uint32_t idle_ticks_ = 0;
+  Bytes proposal_cache_;         // encoded unordered_ batch (valid flag below)
+  bool proposal_cache_valid_ = false;
   AbMetrics metrics_;
   obs::TraceRecorder* tracer_ = nullptr;      // host-owned; may be null
   obs::Histogram* batch_size_hist_ = nullptr;  // registry-owned; may be null

@@ -17,8 +17,28 @@ struct Options {
   /// Additionally multisend each new message the moment it is broadcast
   /// (instead of waiting for the next gossip tick). This approximates the
   /// eager relay of the crash-stop Chandra-Toueg transformation and is used
-  /// by the baseline configuration.
+  /// by the baseline configuration. Under digest_gossip the eager datagram
+  /// carries only the sender's own unordered suffix (not the whole set).
   bool eager_dissemination = false;
+
+  // ---- digest-based delta gossip (anti-entropy) --------------------------
+  /// Replace full-set gossip with digest anti-entropy: the periodic
+  /// datagram carries (k, total, per-sender coverage digest) instead of the
+  /// whole Unordered set; a receiver replies (rate-limited, per peer) with
+  /// only the per-sender suffixes the digester is missing, shipped in
+  /// sender-seq order so the monotone-set invariant AgreedLog depends on is
+  /// preserved by construction (see DESIGN.md "Digest gossip").
+  bool digest_gossip = false;
+  /// Minimum spacing of delta replies to one peer (bounds the bytes a
+  /// duplicated / replayed digest can trigger).
+  Duration delta_reply_interval = millis(8);
+
+  /// Skip a gossip tick when nothing changed since the last send and no
+  /// peer is known to lag. A keepalive still goes out every
+  /// `gossip_keepalive_periods` ticks so peers we have never heard from
+  /// (and the gossip_k_ lag detection) keep working.
+  bool suppress_idle_gossip = false;
+  std::uint32_t gossip_keepalive_periods = 8;
 
   // ---- §5.1: avoiding the replay phase ---------------------------------
   /// Periodically log (k, Agreed) so recovery resumes from the checkpoint

@@ -60,8 +60,10 @@ class Env {
   virtual void send(ProcessId to, const Wire& msg) = 0;
 
   /// The paper's `multisend` macro: best-effort send to every process,
-  /// including self.
-  void multisend(const Wire& msg) {
+  /// including self. The payload is encoded once by the caller and shared
+  /// across recipients (Wire carries refcounted bytes); hosts that must
+  /// re-frame per datagram (e.g. UDP) override this to frame once too.
+  virtual void multisend(const Wire& msg) {
     for (ProcessId p = 0; p < group_size(); ++p) send(p, msg);
   }
 

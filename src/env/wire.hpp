@@ -2,11 +2,41 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/codec.hpp"
 #include "common/types.hpp"
 
 namespace abcast {
+
+/// Immutable, reference-counted byte buffer. A multisend encodes its payload
+/// ONCE and every per-recipient copy of the Wire (host queues, simulated
+/// channel events, duplicate deliveries) shares the same allocation — copying
+/// a Wire is a refcount bump, not a buffer copy. Converts implicitly from
+/// Bytes (taking ownership) and to `const Bytes&` (for decoding), so payload
+/// call sites read exactly as they did when the payload was a plain Bytes.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+  SharedBytes(Bytes b)  // NOLINT(google-explicit-constructor)
+      : data_(std::make_shared<const Bytes>(std::move(b))) {}
+  SharedBytes(std::initializer_list<std::uint8_t> il)
+      : data_(std::make_shared<const Bytes>(il)) {}
+
+  const Bytes& get() const { return data_ ? *data_ : empty(); }
+  operator const Bytes&() const { return get(); }  // NOLINT
+  std::size_t size() const { return get().size(); }
+
+  /// Number of Wires sharing this buffer (0 for the empty payload).
+  long use_count() const { return data_.use_count(); }
+
+ private:
+  static const Bytes& empty() {
+    static const Bytes kEmpty;
+    return kEmpty;
+  }
+  std::shared_ptr<const Bytes> data_;
+};
 
 /// Discriminates protocol messages on the wire. All layers share one
 /// namespace so a host can dispatch a received datagram to the right module
@@ -34,8 +64,9 @@ enum class MsgType : std::uint16_t {
   kCoordDecideAck = 37,
 
   // Atomic broadcast (src/core)
-  kAbGossip = 48,
+  kAbGossip = 48,       // full-set gossip (Options::digest_gossip == false)
   kAbState = 49,
+  kAbGossipDigest = 50, // digest / delta anti-entropy gossip
 
   // Crash-stop Chandra-Toueg-style baseline (src/core)
   kCsRelay = 64,
@@ -55,10 +86,11 @@ enum class MsgType : std::uint16_t {
 };
 
 /// A datagram: a message-type tag plus an opaque serialized payload. The
-/// payload codec is owned by the layer that owns the MsgType.
+/// payload codec is owned by the layer that owns the MsgType. The payload is
+/// refcounted (see SharedBytes), so hosts may copy Wires freely.
 struct Wire {
   MsgType type{};
-  Bytes payload;
+  SharedBytes payload;
 
   void encode(BufWriter& w) const {
     w.u16(static_cast<std::uint16_t>(type));

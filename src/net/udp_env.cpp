@@ -128,12 +128,14 @@ void UdpHost::cancel_timer(TimerId id) {
   cancelled_.push_back(id);
 }
 
-void UdpHost::send(ProcessId to, const Wire& msg) {
-  ABCAST_CHECK(to < peer_addrs_.size());
+Bytes UdpHost::make_frame(const Wire& msg) const {
   BufWriter w;
   w.u32(config_.self);  // frame: sender pid + wire
   msg.encode(w);
-  const Bytes& frame = w.data();
+  return std::move(w).take();
+}
+
+void UdpHost::send_frame(ProcessId to, const Bytes& frame) {
   if (frame.size() > kMaxDatagram) {
     send_failures_.fetch_add(1);  // UDP cannot carry it; drop (unreliable)
     return;
@@ -147,6 +149,16 @@ void UdpHost::send(ProcessId to, const Wire& msg) {
                reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
   if (n < 0) send_failures_.fetch_add(1);  // full buffers etc.: a lost
                                            // datagram, which UDP permits
+}
+
+void UdpHost::send(ProcessId to, const Wire& msg) {
+  ABCAST_CHECK(to < peer_addrs_.size());
+  send_frame(to, make_frame(msg));
+}
+
+void UdpHost::multisend(const Wire& msg) {
+  const Bytes frame = make_frame(msg);  // one encode for all recipients
+  for (ProcessId to = 0; to < group_size(); ++to) send_frame(to, frame);
 }
 
 void UdpHost::start_node(const NodeFactory& factory, bool recovering) {

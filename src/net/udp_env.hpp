@@ -69,6 +69,9 @@ class UdpHost final : public Env {
   TimerId schedule_after(Duration delay, std::function<void()> fn) override;
   void cancel_timer(TimerId id) override;
   void send(ProcessId to, const Wire& msg) override;
+  /// Frames the datagram once ([u32 self][Wire]) and sendto()s it to every
+  /// peer — one encode per multisend instead of one per recipient.
+  void multisend(const Wire& msg) override;
   StableStorage& storage() override { return *storage_; }
   Rng& rng() override { return rng_; }
 
@@ -108,6 +111,8 @@ class UdpHost final : public Env {
   void loop();
   void drain_socket();
   void wake();
+  Bytes make_frame(const Wire& msg) const;
+  void send_frame(ProcessId to, const Bytes& frame);
 
   UdpConfig config_;
   Rng rng_;

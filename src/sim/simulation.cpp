@@ -212,7 +212,9 @@ void Simulation::transmit(ProcessId from, ProcessId to, const Wire& msg) {
   const NetConfig& net = config_.net;
   auto schedule_copy = [this, from, to, &msg](Duration delay) {
     // The Wire is copied into the event: channels may hold messages long
-    // after the sender's stack is gone.
+    // after the sender's stack is gone. The copy only bumps the payload
+    // refcount — a multisend's bytes are encoded once and shared by every
+    // recipient's (and every duplicate's) in-flight event.
     scheduler_.schedule_after(delay, [this, from, to, copy = msg]() {
       if (!hosts_[to]->is_up()) {
         net_stats_.dropped_down += 1;

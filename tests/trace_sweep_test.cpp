@@ -36,6 +36,14 @@ std::vector<obs::TraceEvent> run_seed(std::uint64_t seed) {
     cfg.stack.ab = Options::alternative();
     cfg.stack.ab.checkpoint_period = millis(50);
   }
+  // Sweep both gossip modes: odd (seed/4) runs digest-based delta gossip
+  // (with idle suppression, and eager pushes on half of those) instead of
+  // the full-set datagram.
+  if ((seed / 4) % 2) {
+    cfg.stack.ab.digest_gossip = true;
+    cfg.stack.ab.suppress_idle_gossip = true;
+    cfg.stack.ab.eager_dissemination = (seed / 8) % 2;
+  }
   Cluster c(cfg);
   c.start_all();
   Rng rng(seed * 7919 + 17);
@@ -111,7 +119,7 @@ TEST(TraceSweep, Seeds75To99) { run_range(75, 25); }
 // Mutating a real trace must flip the verdict: the checker is only trusted
 // because it rejects corrupted histories.
 TEST(TraceSweep, MutatedTracesAreRejected) {
-  const auto trace = run_seed(5);  // coord engine, basic variant
+  const auto trace = run_seed(5);  // coord engine, basic variant, digest mode
   ASSERT_FALSE(::testing::Test::HasFatalFailure());
   obs::CheckOptions options;
   options.require_quiesced = true;
