@@ -9,8 +9,12 @@ std::vector<AppMsg> AgreedLog::append(std::vector<AppMsg> batch) {
   for (auto& m : batch) {
     if (vc_.covers(m.id)) {
       // Either already delivered (decided twice) or superseded by a later
-      // message of the same sender that was agreed first; every process
-      // skips it here, so the global sequence stays identical.
+      // SAME-INCARNATION message of its sender that was agreed first; every
+      // process skips it here, so the global sequence stays identical.
+      // Supersession is deliberately per-incarnation: a new incarnation's
+      // root never covers the previous incarnation's still-undelivered
+      // (durably logged) messages — those stay deliverable by later
+      // batches (see vector_clock.hpp).
       skipped_ += 1;
       continue;
     }

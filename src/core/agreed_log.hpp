@@ -11,7 +11,9 @@
 // later round (possible when a batch is re-proposed by a process that
 // missed the earlier decision) is skipped, deterministically at every
 // process, because the same batches arrive in the same round order
-// everywhere and the in-batch order is fixed.
+// everywhere and the in-batch order is fixed. The clock is per-incarnation
+// (see vector_clock.hpp), so ordering a recovered sender's new-incarnation
+// root never suppresses its previous incarnation's undelivered messages.
 #pragma once
 
 #include <optional>

@@ -6,6 +6,7 @@
 
 #include "common/codec.hpp"
 #include "common/types.hpp"
+#include "core/seq.hpp"
 
 namespace abcast::core {
 
@@ -35,32 +36,6 @@ struct AppMsg {
     return a.id == b.id;
   }
 };
-
-/// Builds the 64-bit sequence number for `counter`-th message of an
-/// incarnation. Incarnations come from the failure-detector epoch, which is
-/// already logged once per recovery — so message ids cost zero extra log
-/// operations.
-inline std::uint64_t make_seq(std::uint64_t incarnation,
-                              std::uint64_t counter) {
-  return (incarnation << 32) | counter;
-}
-
-inline std::uint64_t seq_incarnation(std::uint64_t seq) { return seq >> 32; }
-inline std::uint64_t seq_counter(std::uint64_t seq) {
-  return seq & 0xffff'ffffULL;
-}
-
-/// Whether a per-sender coverage digest standing at `cover` may be extended
-/// by `seq` without creating a gap the sender's AgreedLog vector clock could
-/// later hide (see DESIGN.md "Digest gossip"). Two legal extensions:
-/// `cover`'s direct successor within an incarnation, or the FIRST message of
-/// any later incarnation (counters restart at 1, so nothing between `cover`
-/// and `seq` can exist after the sender's crash wiped its volatile counter).
-inline bool seq_extends(std::uint64_t cover, std::uint64_t seq) {
-  if (seq <= cover) return false;
-  if (seq == cover + 1) return true;
-  return seq_counter(seq) == 1;
-}
 
 /// Serializes a batch (a Consensus proposal/decision value).
 inline Bytes encode_batch(const std::vector<AppMsg>& batch) {

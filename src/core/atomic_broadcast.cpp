@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "core/gossip_wire.hpp"
 #include "storage/sealed_record.hpp"
 
 namespace abcast::core {
@@ -32,39 +33,9 @@ struct GossipMsg {
   }
 };
 
-/// Digest-mode gossip datagram (MsgType::kAbGossipDigest). A periodic tick
-/// sends it with an empty `msgs` — (k, total, cover) is the whole
-/// anti-entropy advertisement, a few bytes per sender regardless of backlog.
-/// A delta reply or an eager push carries the missing per-sender suffixes in
-/// `msgs`, each suffix in seq order so the receiver's contiguity guard can
-/// accept it chain-link by chain-link.
-struct DigestMsg {
-  std::uint64_t k = 0;
-  std::uint64_t total = 0;
-  /// True on pull requests: "compare my cover against yours and send me a
-  /// delta". Replies set it only when the replier itself lacks coverage, so
-  /// an exchange terminates as soon as both sides are even.
-  bool want_reply = false;
-  std::vector<std::uint64_t> cover;  // per-sender coverage, size = group
-  std::vector<AppMsg> msgs;          // delta payload (empty on pure digests)
-
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(total);
-    w.boolean(want_reply);
-    w.vec(cover, [](BufWriter& ww, std::uint64_t c) { ww.u64(c); });
-    w.vec(msgs, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
-  }
-  static DigestMsg decode(BufReader& r) {
-    DigestMsg m;
-    m.k = r.u64();
-    m.total = r.u64();
-    m.want_reply = r.boolean();
-    m.cover = r.vec<std::uint64_t>([](BufReader& rr) { return rr.u64(); });
-    m.msgs = r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
-    return m;
-  }
-};
+// DigestMsg (the kAbGossipDigest payload) lives in core/gossip_wire.hpp,
+// next to the copy-free encoder and the delta planner, so its layout has a
+// single definition and a round-trip test.
 
 struct StateMsg {
   std::uint64_t k = 0;  // sender's round minus one (paper Fig. 3, line d)
@@ -414,53 +385,6 @@ std::vector<std::uint64_t> AtomicBroadcast::compute_cover() const {
   return cover;
 }
 
-namespace {
-
-/// The suffixes of our per-sender unordered chains that a peer standing at
-/// `peer_cover` can accept, in map (= sender, seq) order. The walk advances
-/// a per-sender cursor from the peer's cover through our chain; anything
-/// that would not extend the peer's coverage (it already has it, or a gap
-/// separates it) is skipped — its guard would reject it anyway.
-std::vector<const AppMsg*> plan_delta(
-    const std::map<MsgId, AppMsg>& unordered,
-    const std::vector<std::uint64_t>& peer_cover) {
-  std::vector<const AppMsg*> plan;
-  ProcessId cur = 0;
-  bool have_cur = false;
-  std::uint64_t cursor = 0;
-  for (const auto& [id, m] : unordered) {
-    if (!have_cur || id.sender != cur) {
-      cur = id.sender;
-      have_cur = true;
-      cursor = id.sender < peer_cover.size()
-                   ? peer_cover[id.sender]
-                   : std::numeric_limits<std::uint64_t>::max();
-    }
-    if (seq_extends(cursor, id.seq)) {
-      plan.push_back(&m);
-      cursor = id.seq;
-    }
-  }
-  return plan;
-}
-
-/// Encodes a kAbGossipDigest wire without materializing a DigestMsg (the
-/// delta entries are referenced in place, never copied).
-Wire make_digest_wire(std::uint64_t k, std::uint64_t total, bool want_reply,
-                      const std::vector<std::uint64_t>& cover,
-                      const std::vector<const AppMsg*>& msgs) {
-  BufWriter w;
-  w.u64(k);
-  w.u64(total);
-  w.boolean(want_reply);
-  w.vec(cover, [](BufWriter& ww, std::uint64_t c) { ww.u64(c); });
-  w.u32(static_cast<std::uint32_t>(msgs.size()));
-  for (const auto* m : msgs) m->encode(w);
-  return Wire{MsgType::kAbGossipDigest, std::move(w).take()};
-}
-
-}  // namespace
-
 void AtomicBroadcast::send_gossip_now() {
   if (options_.digest_gossip) {
     // Anti-entropy advertisement: a few bytes per sender, independent of
@@ -541,35 +465,81 @@ void AtomicBroadcast::send_eager_deltas() {
       // No digest heard from this peer yet: assume it holds our agreed
       // prefix and nothing more. Wrong guesses are cheap — its contiguity
       // guard drops what it cannot take and the next anti-entropy round
-      // repairs the view.
+      // repairs the view. The agreed prefix is globally decided, so it
+      // doubles as the confirmed baseline for root-jump planning.
       view.cover.resize(my_cover.size(), 0);
       for (std::size_t q = 0; q < view.cover.size(); ++q) {
         view.cover[q] = agreed_.vc().last_of(static_cast<ProcessId>(q));
       }
+      view.confirmed = view.cover;
     }
-    const auto plan = plan_delta(unordered_, view.cover);
+    const auto plan = plan_delta(unordered_, view.cover, view.confirmed);
     if (plan.empty()) continue;
-    const Wire wire = make_digest_wire(k_, agreed_.total(),
-                                       /*want_reply=*/false, my_cover, plan);
-    metrics_.gossip_bytes_sent += wire.payload.size();
-    env_.send(static_cast<ProcessId>(p), wire);
-    metrics_.delta_sent += 1;
-    metrics_.delta_msgs_sent += plan.size();
-    // Optimistically assume delivery so back-to-back broadcasts ship each
-    // message once; the peer's next digest overwrites with the truth.
-    for (const auto* m : plan) view.cover[m->id.sender] = m->id.seq;
-    trace(obs::EventKind::kGossipSend, k_, MsgId{}, plan.size(), "eager");
+    send_delta_chunks(static_cast<ProcessId>(p), view, /*want_reply=*/false,
+                      my_cover, plan, "eager");
   }
+}
+
+std::size_t AtomicBroadcast::send_delta_chunks(
+    ProcessId to, PeerView& view, bool want_reply,
+    const std::vector<std::uint64_t>& my_cover,
+    const std::vector<const AppMsg*>& plan, const char* detail) {
+  const std::size_t header = digest_header_bytes(my_cover.size());
+  const std::size_t budget = std::max(options_.max_delta_bytes, header + 1);
+  std::vector<const AppMsg*> chunk;
+  std::size_t chunk_bytes = header;
+  std::size_t shipped = 0;
+  const auto flush = [&] {
+    const Wire wire =
+        make_digest_wire(k_, agreed_.total(), want_reply, my_cover, chunk);
+    metrics_.gossip_bytes_sent += wire.payload.size();
+    env_.send(to, wire);
+    metrics_.delta_sent += 1;
+    metrics_.delta_msgs_sent += chunk.size();
+    // Optimistically assume delivery so back-to-back broadcasts ship each
+    // message once; the peer's next digest overwrites with the truth. Only
+    // messages actually handed to a send count — a message that never fit
+    // must not be marked covered, or repair for this peer would livelock.
+    for (const auto* m : chunk) {
+      if (m->id.sender < view.cover.size()) view.cover[m->id.sender] = m->id.seq;
+    }
+    shipped += chunk.size();
+    trace(obs::EventKind::kGossipSend, k_, MsgId{}, chunk.size(), detail);
+    chunk.clear();
+    chunk_bytes = header;
+  };
+  bool skipping = false;
+  ProcessId skip_sender = 0;
+  for (const AppMsg* m : plan) {
+    if (skipping && m->id.sender == skip_sender) continue;
+    skipping = false;
+    const std::size_t entry = delta_entry_bytes(*m);
+    if (header + entry > budget) {
+      // This one message alone overflows a datagram; no chunking can ship
+      // it. Skip the rest of its sender's suffix too — without this link
+      // the peer's guard would park everything after it anyway — and leave
+      // view.cover honest so we never believe the peer has it.
+      skipping = true;
+      skip_sender = m->id.sender;
+      continue;
+    }
+    if (chunk_bytes + entry > budget) flush();
+    chunk.push_back(m);
+    chunk_bytes += entry;
+  }
+  if (!chunk.empty() || (want_reply && shipped == 0)) flush();
+  return shipped;
 }
 
 void AtomicBroadcast::maybe_send_delta_reply(ProcessId to) {
   PeerView& view = peers_[to];
   const auto my_cover = compute_cover();
   if (view.cover.size() != my_cover.size()) return;
-  const auto plan = plan_delta(unordered_, view.cover);
+  const auto plan = plan_delta(unordered_, view.cover, view.confirmed);
   bool i_lack = false;
   for (std::size_t q = 0; q < my_cover.size(); ++q) {
-    if (view.cover[q] > my_cover[q]) {
+    if (view.confirmed.size() == my_cover.size() &&
+        view.confirmed[q] > my_cover[q]) {
       i_lack = true;
       break;
     }
@@ -580,14 +550,7 @@ void AtomicBroadcast::maybe_send_delta_reply(ProcessId to) {
   const TimePoint now = env_.now();
   if (now < view.next_delta_ok) return;  // rate limit per peer
   view.next_delta_ok = now + options_.delta_reply_interval;
-  const Wire wire = make_digest_wire(k_, agreed_.total(),
-                                     /*want_reply=*/i_lack, my_cover, plan);
-  metrics_.gossip_bytes_sent += wire.payload.size();
-  env_.send(to, wire);
-  metrics_.delta_sent += 1;
-  metrics_.delta_msgs_sent += plan.size();
-  for (const auto* m : plan) view.cover[m->id.sender] = m->id.seq;
-  trace(obs::EventKind::kGossipSend, k_, MsgId{}, plan.size(), "delta");
+  send_delta_chunks(to, view, /*want_reply=*/i_lack, my_cover, plan, "delta");
 }
 
 std::size_t AtomicBroadcast::merge_delta(std::vector<AppMsg> msgs) {
@@ -603,7 +566,10 @@ std::size_t AtomicBroadcast::merge_delta(std::vector<AppMsg> msgs) {
   for (auto& m : msgs) {
     const MsgId id = m.id;
     if (id.sender >= cover.size()) continue;  // malformed sender: drop
-    if (id.seq <= cover[id.sender]) continue;  // already covered / superseded
+    // At or below our frontier: already held or agreed. (An orphaned
+    // prior-incarnation suffix also lands here; it travels via its
+    // sender's proposals, never via gossip — see DESIGN.md.)
+    if (id.seq <= cover[id.sender]) continue;
     if (!seq_extends(cover[id.sender], id.seq)) {
       // Racing ahead of its predecessor on the non-FIFO channel: park it
       // until the chain below fills in, so the reorder costs no retransmit.
@@ -710,10 +676,14 @@ void AtomicBroadcast::on_message(ProcessId from, const Wire& msg) {
       view.k = g.k;
       view.total = g.total;
       view.cover = g.cover;  // received truth overwrites optimism
+      view.confirmed = std::move(g.cover);
     }
     const std::size_t rejected = merge_delta(std::move(g.msgs));
     handle_round_info(from, g.k, g.total);
-    if (from != env_.self()) {
+    // peers_ is empty until start(); both hosts validate the frame sender
+    // today, but a digest arriving early (or from a future host without
+    // sender validation) must not index past it.
+    if (from != env_.self() && from < peers_.size()) {
       if (g.want_reply) maybe_send_delta_reply(from);
       if (rejected > 0) maybe_send_pull(from);
     }

@@ -134,12 +134,18 @@ class AtomicBroadcast {
  private:
   /// What this process last learned (or optimistically assumes) about a
   /// peer's progress. Fed by incoming gossip of either kind; `cover` only by
-  /// digest gossip (and by our own optimistic bumps after eager pushes).
+  /// digest gossip (and by our own optimistic bumps after delta sends).
   struct PeerView {
     bool heard = false;
     std::uint64_t k = 0;
     std::uint64_t total = 0;
+    /// Working cover: digest truth, optimistically bumped for every delta
+    /// message shipped so back-to-back broadcasts ship each message once.
     std::vector<std::uint64_t> cover;  // empty until known/assumed
+    /// Cover the peer actually advertised (or that is globally decided —
+    /// the assumed agreed-prefix baseline); never optimistic. Incarnation-
+    /// root jumps are planned only from here (see plan_delta).
+    std::vector<std::uint64_t> confirmed;
     TimePoint next_delta_ok = 0;       // delta-reply rate limiter
     TimePoint next_pull_ok = 0;        // reorder-repair pull rate limiter
   };
@@ -148,6 +154,15 @@ class AtomicBroadcast {
   void gossip_tick();
   bool gossip_needed() const;
   void send_eager_deltas();
+  /// Ships `plan` to `to` in datagrams of at most Options::max_delta_bytes
+  /// each (suffix-in-seq-order chunks stay guard-acceptable on their own),
+  /// bumping view.cover only for messages actually handed to a send. With
+  /// `want_reply`, at least one datagram goes out even for an empty plan
+  /// (the pure-pull case). Returns the number of messages shipped.
+  std::size_t send_delta_chunks(ProcessId to, PeerView& view, bool want_reply,
+                                const std::vector<std::uint64_t>& my_cover,
+                                const std::vector<const AppMsg*>& plan,
+                                const char* detail);
   void maybe_send_delta_reply(ProcessId to);
   void maybe_send_pull(ProcessId to);
   /// Returns the number of messages the contiguity guard rejected.

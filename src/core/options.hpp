@@ -32,6 +32,13 @@ struct Options {
   /// Minimum spacing of delta replies to one peer (bounds the bytes a
   /// duplicated / replayed digest can trigger).
   Duration delta_reply_interval = millis(8);
+  /// Upper bound on one delta datagram's payload. A plan larger than this
+  /// is split into several datagrams — each a self-contained, in-seq-order
+  /// suffix the receiver's guard accepts on its own — so a delta to a
+  /// deeply lagging peer never exceeds what the transport can carry (the
+  /// rt/udp host silently drops frames above 64 KiB). Must leave room for
+  /// the digest header plus at least one message.
+  std::size_t max_delta_bytes = 56 * 1024;
 
   /// Skip a gossip tick when nothing changed since the last send and no
   /// peer is known to lag. A keepalive still goes out every
@@ -110,6 +117,9 @@ struct Options {
                      "incremental_unordered_log requires log_unordered");
     ABCAST_CHECK_MSG(!trimmed_state_transfer || state_transfer,
                      "trimmed_state_transfer requires state_transfer");
+    ABCAST_CHECK_MSG(max_delta_bytes >= 256,
+                     "max_delta_bytes must fit the digest header plus at "
+                     "least one small message");
     if (checkpointing) ABCAST_CHECK(checkpoint_period > 0);
     if (state_transfer) ABCAST_CHECK(delta >= 1);
   }

@@ -1,0 +1,42 @@
+// Per-sender sequence numbers: (incarnation, counter) packed into 64 bits.
+#pragma once
+
+#include <cstdint>
+
+namespace abcast::core {
+
+/// Builds the 64-bit sequence number for the `counter`-th message of an
+/// incarnation. Incarnations come from the failure-detector epoch, which is
+/// already logged once per recovery — so message ids cost zero extra log
+/// operations.
+inline std::uint64_t make_seq(std::uint64_t incarnation,
+                              std::uint64_t counter) {
+  return (incarnation << 32) | counter;
+}
+
+inline std::uint64_t seq_incarnation(std::uint64_t seq) { return seq >> 32; }
+inline std::uint64_t seq_counter(std::uint64_t seq) {
+  return seq & 0xffff'ffffULL;
+}
+
+/// Whether a per-sender coverage digest standing at `cover` may be extended
+/// by `seq` (see DESIGN.md "Digest gossip"). Two legal extensions: `cover`'s
+/// direct successor within an incarnation, or the FIRST message of any later
+/// incarnation (counters restart at 1 after a crash wipes the sender's
+/// volatile counter).
+///
+/// The incarnation-root case is OPTIMISTIC: with Options::log_unordered the
+/// sender's previous incarnation may have durably logged messages above
+/// `cover` that this process has simply not received yet, so accepting the
+/// root here can leave that prior-incarnation suffix uncovered. That is
+/// safe because supersession is per-incarnation (VectorClock::covers never
+/// lets a later incarnation hide an earlier one's messages) and the shipping
+/// side only plans a root across an unconfirmed gap when the gap cannot
+/// exist (see plan_delta in gossip_wire.hpp).
+inline bool seq_extends(std::uint64_t cover, std::uint64_t seq) {
+  if (seq <= cover) return false;
+  if (seq == cover + 1) return true;
+  return seq_counter(seq) == 1;
+}
+
+}  // namespace abcast::core

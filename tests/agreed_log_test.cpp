@@ -89,6 +89,31 @@ TEST(AgreedLog, SkipsStaleLowerSeqAfterHigherSeqDelivered) {
   EXPECT_TRUE(log.contains(MsgId{0, 1}));  // logically contained
 }
 
+// The REVIEW regression, at the queue level: a recovered sender's
+// new-incarnation root gets ordered BEFORE its previous incarnation's
+// durably logged messages (a lost delta plus an optimistic peer view is
+// enough). Those messages must still deliver when a later batch carries
+// them — supersession is per-incarnation, never across.
+TEST(AgreedLog, NewIncarnationRootDoesNotSupersedePriorIncarnation) {
+  AgreedLog log(2);
+  auto first = log.append({msg(0, make_seq(2, 1))});  // root ordered first
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_FALSE(log.contains(MsgId{0, make_seq(1, 4)}));
+
+  auto recovered =
+      log.append({msg(0, make_seq(1, 5)), msg(0, make_seq(1, 4))});
+  EXPECT_EQ(ids_of(recovered),
+            (std::vector<MsgId>{{0, make_seq(1, 4)}, {0, make_seq(1, 5)}}));
+  EXPECT_EQ(log.skipped_duplicates(), 0u);
+  EXPECT_EQ(log.total(), 3u);
+  EXPECT_TRUE(log.contains(MsgId{0, make_seq(1, 5)}));
+  EXPECT_TRUE(log.contains(MsgId{0, make_seq(2, 1)}));
+
+  // Within one incarnation the stale-drop rule is unchanged.
+  EXPECT_TRUE(log.append({msg(0, make_seq(1, 3))}).empty());
+  EXPECT_EQ(log.skipped_duplicates(), 1u);
+}
+
 TEST(AgreedLog, ContainsMatchesVc) {
   AgreedLog log(2);
   log.append({msg(1, 3)});

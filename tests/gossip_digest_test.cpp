@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "core/gossip_wire.hpp"
 #include "harness/fixture.hpp"
 #include "obs/trace_check.hpp"
 
@@ -53,6 +54,150 @@ void expect_chains_contiguous(Cluster& c, std::uint64_t seed) {
 }
 
 }  // namespace
+
+// The struct encoder (DigestMsg::encode) and the copy-free encoder
+// (make_digest_wire) are one function; pin the layout with a byte-equal
+// round trip so they can never drift again, and pin the size helpers the
+// chunker budgets with.
+TEST(GossipDigest, WireLayoutRoundTripsThroughBothEncoders) {
+  DigestMsg m;
+  m.k = 7;
+  m.total = 42;
+  m.want_reply = true;
+  m.cover = {make_seq(1, 3), 0, make_seq(2, 9)};
+  AppMsg a;
+  a.id = MsgId{0, make_seq(1, 4)};
+  a.payload = Bytes{1, 2, 3};
+  AppMsg b;
+  b.id = MsgId{2, make_seq(2, 10)};
+  m.msgs = {a, b};
+
+  const Wire via_struct = make_wire(MsgType::kAbGossipDigest, m);
+  const Wire via_refs =
+      make_digest_wire(m.k, m.total, m.want_reply, m.cover, {&a, &b});
+  EXPECT_EQ(via_struct.payload.get(), via_refs.payload.get());
+  EXPECT_EQ(via_refs.payload.size(), digest_header_bytes(m.cover.size()) +
+                                         delta_entry_bytes(a) +
+                                         delta_entry_bytes(b));
+
+  const auto back = decode_from_bytes<DigestMsg>(via_refs.payload);
+  EXPECT_EQ(back.k, 7u);
+  EXPECT_EQ(back.total, 42u);
+  EXPECT_TRUE(back.want_reply);
+  EXPECT_EQ(back.cover, m.cover);
+  ASSERT_EQ(back.msgs.size(), 2u);
+  EXPECT_EQ(back.msgs[0].id, a.id);
+  EXPECT_EQ(back.msgs[0].payload, a.payload);
+  EXPECT_EQ(back.msgs[1].id, b.id);
+
+  const Wire empty = make_digest_wire(m.k, m.total, false, m.cover, {});
+  EXPECT_EQ(empty.payload.size(), digest_header_bytes(m.cover.size()));
+}
+
+// A delta plan larger than max_delta_bytes must be split across several
+// datagrams (each a self-contained in-order suffix), not sent as one
+// oversized frame a real UDP host would silently drop. The ratio pin: no
+// datagram may carry more messages than the budget admits.
+TEST(GossipDigest, DeltaPlansAreChunkedToTheDatagramBudget) {
+  ClusterConfig cfg = digest_config(905, /*eager=*/false,
+                                    /*suppress_idle=*/false);
+  cfg.sim.net.drop_prob = 0;
+  cfg.sim.net.dup_prob = 0;
+  cfg.stack.ab.max_delta_bytes = 600;
+  Cluster c(cfg);
+  c.start_all();
+  std::vector<MsgId> ids;
+  // One backlog burst from a single sender, bigger than several budgets:
+  // 40 messages × (16 + 64) bytes ≈ 3.2 KiB of delta against a 600-byte cap.
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(c.broadcast(0, Bytes(64, 'x')));
+  }
+  EXPECT_TRUE(c.await_delivery(ids, {}, seconds(120)));
+  EXPECT_TRUE(c.await_quiesced(seconds(120)));
+
+  // Budget math: header = digest_header_bytes(3), entry = 80 bytes, so at
+  // most (600 - header) / 80 = 6 messages fit one datagram.
+  const std::size_t per_datagram =
+      (cfg.stack.ab.max_delta_bytes - digest_header_bytes(kN)) / (16 + 64);
+  std::uint64_t datagrams = 0, msgs = 0;
+  for (ProcessId p = 0; p < kN; ++p) {
+    const auto& met = c.stack(p)->ab().metrics();
+    datagrams += met.delta_sent;
+    msgs += met.delta_msgs_sent;
+  }
+  ASSERT_GT(datagrams, 0u);
+  EXPECT_LE(msgs, datagrams * per_datagram);
+  // And chunking actually engaged: the backlog needed multiple datagrams.
+  EXPECT_GT(datagrams, 1u);
+}
+
+// The REVIEW regression end-to-end: node 0's broadcasts (inc,4),(inc,5)
+// survive its crash in the durable Unordered log but never reach peers (its
+// outbound links are cut); after recovery its delta replies are still lost,
+// so peers' optimistic views of node 0 run ahead to (inc,5); then node 0
+// broadcasts the next incarnation's root with links healed. Before the
+// per-incarnation vector clock and the confirmed-cover jump rule, the eager
+// root-only delta could be ordered first and numerically supersede
+// (inc,4),(inc,5) everywhere — durably logged broadcasts silently lost.
+// Now everything must deliver.
+TEST(GossipDigest, PriorIncarnationSurvivesRootOrderedFirst) {
+  ClusterConfig cfg = digest_config(906, /*eager=*/true,
+                                    /*suppress_idle=*/false);
+  cfg.sim.net.drop_prob = 0;
+  cfg.sim.net.dup_prob = 0;
+  cfg.stack.ab.log_unordered = true;
+  cfg.stack.ab.incremental_unordered_log = true;
+  Cluster c(cfg);
+  c.start_all();
+  std::vector<MsgId> ids;
+
+  // Settle a common prefix from node 0.
+  for (int i = 0; i < 3; ++i) ids.push_back(c.broadcast(0, Bytes(16, 'a')));
+  ASSERT_TRUE(c.await_delivery(ids, {}, seconds(60)));
+
+  // Cut node 0's outbound only, broadcast twice (durably logged, never
+  // disseminated), crash.
+  c.sim().block_link(0, 1);
+  c.sim().block_link(0, 2);
+  ids.push_back(c.broadcast(0, Bytes(16, 'b')));
+  ids.push_back(c.broadcast(0, Bytes(16, 'b')));
+  c.sim().run_for(millis(50));
+  c.sim().crash(0);
+  c.sim().run_for(millis(100));
+
+  // Recover with outbound still cut: node 0 re-reads its logged suffix,
+  // hears the peers' digests, and its delta replies vanish on the blocked
+  // links — its views of the peers optimistically run ahead. Background
+  // traffic from node 1 keeps rounds turning so the majority side's
+  // proposals stay competitive.
+  c.sim().recover(0);
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(c.broadcast(1, Bytes(16, 'x')));
+    c.sim().run_for(millis(40));
+  }
+
+  // Heal and immediately broadcast the new incarnation's root, so the
+  // eager path fires against the stale optimistic views; more background
+  // traffic races the majority's root-bearing proposals against node 0's
+  // full [prior-suffix + root] proposal.
+  c.sim().unblock_link(0, 1);
+  c.sim().unblock_link(0, 2);
+  ids.push_back(c.broadcast(0, Bytes(16, 'c')));
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(c.broadcast(1, Bytes(16, 'y')));
+    c.sim().run_for(millis(5));
+  }
+
+  EXPECT_TRUE(c.await_delivery(ids, {}, seconds(120)));
+  EXPECT_TRUE(c.await_quiesced(seconds(120)));
+  expect_chains_contiguous(c, 906);
+
+  obs::CheckOptions options;
+  options.require_quiesced = true;
+  const auto report = obs::check_trace(c.collect_trace(), options);
+  EXPECT_TRUE(report.ok())
+      << (report.ok() ? std::string() : obs::to_string(report.violations[0]));
+}
 
 // Property sweep: broadcasts from every node under heavy loss, duplication,
 // and repeated crash/recovery, with the chain invariant asserted after every

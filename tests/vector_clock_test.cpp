@@ -75,6 +75,71 @@ TEST(VectorClockTest, Dominance) {
   EXPECT_TRUE(lo.dominates(VectorClock(3)));
 }
 
+// Supersession is per-incarnation: a later incarnation's messages never
+// cover an earlier incarnation's — the property that keeps a recovered
+// sender's durably logged broadcasts deliverable after its new-incarnation
+// root was ordered first (see vector_clock.hpp header).
+TEST(VectorClockTest, LaterIncarnationDoesNotCoverEarlierOne) {
+  VectorClock vc(2);
+  vc.observe(MsgId{0, make_seq(2, 1)});
+  EXPECT_TRUE(vc.covers(MsgId{0, make_seq(2, 1)}));
+  EXPECT_FALSE(vc.covers(MsgId{0, make_seq(1, 4)}));
+  EXPECT_FALSE(vc.covers(MsgId{0, make_seq(1, 1)}));
+  EXPECT_EQ(vc.last_of(0), make_seq(2, 1));
+
+  // The earlier incarnation can still be observed AFTER the later one —
+  // this is exactly the recovered-suffix delivery order.
+  vc.observe(MsgId{0, make_seq(1, 4)});
+  EXPECT_TRUE(vc.covers(MsgId{0, make_seq(1, 4)}));
+  EXPECT_TRUE(vc.covers(MsgId{0, make_seq(1, 3)}));  // same-incarnation prefix
+  EXPECT_FALSE(vc.covers(MsgId{0, make_seq(1, 5)}));
+  vc.observe(MsgId{0, make_seq(1, 5)});
+  EXPECT_TRUE(vc.covers(MsgId{0, make_seq(1, 5)}));
+  // The frontier stays the newest incarnation's top.
+  EXPECT_EQ(vc.last_of(0), make_seq(2, 1));
+  // Within an incarnation the monotonicity contract still holds.
+  EXPECT_THROW(vc.observe(MsgId{0, make_seq(1, 5)}), InvariantViolation);
+  EXPECT_THROW(vc.observe(MsgId{0, make_seq(2, 1)}), InvariantViolation);
+}
+
+TEST(VectorClockTest, MergeAndDominanceArePerIncarnation) {
+  VectorClock a(1);
+  a.observe(MsgId{0, make_seq(1, 5)});
+  VectorClock b(1);
+  b.observe(MsgId{0, make_seq(2, 1)});
+  // Concurrent: each covers an incarnation the other lacks.
+  EXPECT_FALSE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+
+  VectorClock m = a;
+  m.merge(b);
+  EXPECT_TRUE(m.covers(MsgId{0, make_seq(1, 5)}));
+  EXPECT_TRUE(m.covers(MsgId{0, make_seq(2, 1)}));
+  EXPECT_TRUE(m.dominates(a));
+  EXPECT_TRUE(m.dominates(b));
+  // Merge takes the per-incarnation maximum, not the overall maximum.
+  VectorClock c(1);
+  c.observe(MsgId{0, make_seq(1, 7)});
+  m.merge(c);
+  EXPECT_TRUE(m.covers(MsgId{0, make_seq(1, 7)}));
+  EXPECT_EQ(m.last_of(0), make_seq(2, 1));
+}
+
+TEST(VectorClockTest, MultiIncarnationCodecRoundTrip) {
+  VectorClock vc(3);
+  vc.observe(MsgId{0, make_seq(1, 9)});
+  vc.observe(MsgId{0, make_seq(3, 2)});
+  vc.observe(MsgId{2, make_seq(2, 1)});
+  BufWriter w;
+  vc.encode(w);
+  BufReader r(w.data());
+  const VectorClock back = VectorClock::decode(r);
+  EXPECT_EQ(back, vc);
+  EXPECT_TRUE(back.covers(MsgId{0, make_seq(1, 9)}));
+  EXPECT_FALSE(back.covers(MsgId{0, make_seq(2, 1)}));
+  EXPECT_TRUE(back.covers(MsgId{0, make_seq(3, 2)}));
+}
+
 TEST(VectorClockTest, WidthMismatchIsAnError) {
   VectorClock a(2);
   const VectorClock b(3);
