@@ -132,9 +132,10 @@ BENCHMARK(BM_MetricsCounterInc);
 void BM_MetricsBoundSlotInc(benchmark::State& state) {
   // The protocol's actual hot path: a plain field increment on a struct the
   // registry holds a read-only binding into. The binding must cost nothing
-  // here — it is only dereferenced at snapshot time.
+  // here — it is only read at snapshot time. The slot is a RelaxedU64, so
+  // the increment is a relaxed fetch_add.
   obs::MetricsRegistry registry;
-  std::uint64_t slot = 0;
+  RelaxedU64 slot;
   obs::MetricsGroup group = registry.group();
   group.bind("bench_bound", {{"node", "0"}}, &slot);
   for (auto _ : state) {

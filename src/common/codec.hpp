@@ -26,6 +26,16 @@ class CodecError : public std::runtime_error {
   explicit CodecError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Bounds-checked narrowing for u32 length/count fields. Hand-rolled
+/// incremental encoders (anything not going through BufWriter::vec/map/
+/// bytes/str) must use this instead of a bare static_cast so an oversized
+/// container throws CodecError rather than silently truncating the prefix
+/// and desynchronizing the decoder.
+inline std::uint32_t checked_u32(std::size_t n) {
+  if (n > 0xFFFFFFFFull) throw CodecError("length exceeds u32");
+  return static_cast<std::uint32_t>(n);
+}
+
 /// Appends fixed-width little-endian primitives and length-prefixed blobs to
 /// an owned byte buffer.
 class BufWriter {
@@ -79,10 +89,7 @@ class BufWriter {
     }
   }
 
-  static std::uint32_t checked_len(std::size_t n) {
-    if (n > 0xFFFFFFFFull) throw CodecError("length exceeds u32");
-    return static_cast<std::uint32_t>(n);
-  }
+  static std::uint32_t checked_len(std::size_t n) { return checked_u32(n); }
 
   Bytes buf_;
 };

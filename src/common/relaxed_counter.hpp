@@ -1,0 +1,51 @@
+// Relaxed-atomic counter slot for metrics structs.
+//
+// AbMetrics / ConsensusMetrics fields are incremented on the owning host's
+// event-loop thread while MetricsRegistry::snapshot() dereferences the bound
+// slot from whatever thread asked for the snapshot (a test, a bench, an
+// export endpoint). A plain uint64_t makes that a data race under the rt/udp
+// runtimes; RelaxedU64 keeps the hot path a single relaxed fetch_add (same
+// cost as the plain increment on x86/ARM) while making the cross-thread read
+// well-defined.
+//
+// Per-field relaxed ordering is exactly the guarantee metrics want: each
+// counter is individually coherent, and a snapshot is a loose point-in-time
+// view, not a transactionally consistent cut across counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace abcast {
+
+class RelaxedU64 {
+ public:
+  constexpr RelaxedU64(std::uint64_t v = 0) noexcept : v_(v) {}  // NOLINT(google-explicit-constructor)
+
+  // Copyable so metrics structs stay aggregate-like (snapshots/diffs copy
+  // them); a copy reads the source with relaxed ordering.
+  RelaxedU64(const RelaxedU64& o) noexcept : v_(o.load()) {}
+  RelaxedU64& operator=(const RelaxedU64& o) noexcept {
+    v_.store(o.load(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  RelaxedU64& operator=(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedU64& operator+=(std::uint64_t by) noexcept {
+    v_.fetch_add(by, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator std::uint64_t() const noexcept { return load(); }  // NOLINT(google-explicit-constructor)
+  std::uint64_t load() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_;
+};
+
+}  // namespace abcast

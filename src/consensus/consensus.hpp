@@ -29,6 +29,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/relaxed_counter.hpp"
 #include "common/types.hpp"
 #include "env/env.hpp"
 #include "env/stable_storage.hpp"
@@ -52,16 +53,16 @@ struct ConsensusConfig {
 
 /// Engine-agnostic counters for experiments.
 struct ConsensusMetrics {
-  std::uint64_t proposals = 0;          // distinct instances proposed to
-  std::uint64_t decided_local = 0;      // instances this process decided
-  std::uint64_t decided_learned = 0;    // decisions learned from peers
-  std::uint64_t attempts = 0;           // ballots (Paxos) or rounds (Coord)
+  RelaxedU64 proposals;          // distinct instances proposed to
+  RelaxedU64 decided_local;      // instances this process decided
+  RelaxedU64 decided_learned;    // decisions learned from peers
+  RelaxedU64 attempts;           // ballots (Paxos) or rounds (Coord)
   /// Stored records found torn/corrupt during recovery and discarded.
-  std::uint64_t corrupt_records = 0;
+  RelaxedU64 corrupt_records;
   /// Instances whose engine-private acceptor state was damaged: the process
   /// stops acting as an acceptor for them (amnesia containment) until it
   /// learns the decision from peers.
-  std::uint64_t quarantined = 0;
+  RelaxedU64 quarantined;
 };
 
 using DecidedCallback =

@@ -3,69 +3,15 @@
 #include "common/check.hpp"
 #include "common/codec.hpp"
 #include "common/logging.hpp"
+#include "consensus/consensus_wire.hpp"
 #include "consensus/keys.hpp"
 #include "storage/sealed_record.hpp"
 
 namespace abcast {
-namespace {
 
-struct EstimateMsg {
-  InstanceId k = 0;
-  std::uint64_t round = 0;
-  std::uint64_t ts = 0;
-  Bytes est;
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(round);
-    w.u64(ts);
-    w.bytes(est);
-  }
-  static EstimateMsg decode(BufReader& r) {
-    EstimateMsg m;
-    m.k = r.u64();
-    m.round = r.u64();
-    m.ts = r.u64();
-    m.est = r.bytes();
-    return m;
-  }
-};
-
-struct NewEstimateMsg {
-  InstanceId k = 0;
-  std::uint64_t round = 0;
-  Bytes value;
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(round);
-    w.bytes(value);
-  }
-  static NewEstimateMsg decode(BufReader& r) {
-    NewEstimateMsg m;
-    m.k = r.u64();
-    m.round = r.u64();
-    m.value = r.bytes();
-    return m;
-  }
-};
-
-// Ack and Nack share a shape: instance + round. A nack's round is the
-// *sender's* current round, inviting the receiver to catch up.
-struct RoundMsg {
-  InstanceId k = 0;
-  std::uint64_t round = 0;
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(round);
-  }
-  static RoundMsg decode(BufReader& r) {
-    RoundMsg m;
-    m.k = r.u64();
-    m.round = r.u64();
-    return m;
-  }
-};
-
-}  // namespace
+using consensus_wire::EstimateMsg;
+using consensus_wire::NewEstimateMsg;
+using consensus_wire::RoundMsg;
 
 CoordEngine::CoordEngine(Env& env, const LeaderOracle& oracle,
                          ConsensusConfig config)

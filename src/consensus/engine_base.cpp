@@ -6,36 +6,14 @@
 #include "common/codec.hpp"
 #include "common/crc32.hpp"
 #include "common/logging.hpp"
+#include "consensus/consensus_wire.hpp"
 #include "consensus/keys.hpp"
 #include "storage/sealed_record.hpp"
 
 namespace abcast {
-namespace {
 
-struct DecidedMsg {
-  InstanceId k = 0;
-  Bytes value;
-
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.bytes(value);
-  }
-  static DecidedMsg decode(BufReader& r) {
-    DecidedMsg m;
-    m.k = r.u64();
-    m.value = r.bytes();
-    return m;
-  }
-};
-
-struct DecidedAckMsg {
-  InstanceId k = 0;
-
-  void encode(BufWriter& w) const { w.u64(k); }
-  static DecidedAckMsg decode(BufReader& r) { return DecidedAckMsg{r.u64()}; }
-};
-
-}  // namespace
+using consensus_wire::DecidedAckMsg;
+using consensus_wire::DecidedMsg;
 
 EngineBase::EngineBase(Env& env, const LeaderOracle& oracle,
                        ConsensusConfig config, MsgType decided_type,

@@ -5,97 +5,17 @@
 #include "common/check.hpp"
 #include "common/codec.hpp"
 #include "common/logging.hpp"
+#include "consensus/consensus_wire.hpp"
 #include "consensus/keys.hpp"
 #include "storage/sealed_record.hpp"
 
 namespace abcast {
-namespace {
 
-struct PrepareMsg {
-  InstanceId k = 0;
-  std::uint64_t ballot = 0;
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(ballot);
-  }
-  static PrepareMsg decode(BufReader& r) {
-    PrepareMsg m;
-    m.k = r.u64();
-    m.ballot = r.u64();
-    return m;
-  }
-};
-
-struct PromiseMsg {
-  InstanceId k = 0;
-  std::uint64_t ballot = 0;
-  std::uint64_t accepted_ballot = 0;
-  Bytes accepted_value;
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(ballot);
-    w.u64(accepted_ballot);
-    w.bytes(accepted_value);
-  }
-  static PromiseMsg decode(BufReader& r) {
-    PromiseMsg m;
-    m.k = r.u64();
-    m.ballot = r.u64();
-    m.accepted_ballot = r.u64();
-    m.accepted_value = r.bytes();
-    return m;
-  }
-};
-
-struct AcceptMsg {
-  InstanceId k = 0;
-  std::uint64_t ballot = 0;
-  Bytes value;
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(ballot);
-    w.bytes(value);
-  }
-  static AcceptMsg decode(BufReader& r) {
-    AcceptMsg m;
-    m.k = r.u64();
-    m.ballot = r.u64();
-    m.value = r.bytes();
-    return m;
-  }
-};
-
-struct AcceptedMsg {
-  InstanceId k = 0;
-  std::uint64_t ballot = 0;
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(ballot);
-  }
-  static AcceptedMsg decode(BufReader& r) {
-    AcceptedMsg m;
-    m.k = r.u64();
-    m.ballot = r.u64();
-    return m;
-  }
-};
-
-struct NackMsg {
-  InstanceId k = 0;
-  std::uint64_t promised = 0;
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(promised);
-  }
-  static NackMsg decode(BufReader& r) {
-    NackMsg m;
-    m.k = r.u64();
-    m.promised = r.u64();
-    return m;
-  }
-};
-
-}  // namespace
+using consensus_wire::AcceptedMsg;
+using consensus_wire::AcceptMsg;
+using consensus_wire::NackMsg;
+using consensus_wire::PrepareMsg;
+using consensus_wire::PromiseMsg;
 
 PaxosEngine::PaxosEngine(Env& env, const LeaderOracle& oracle,
                          ConsensusConfig config)

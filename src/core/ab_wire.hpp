@@ -1,0 +1,81 @@
+// Wire formats for the Atomic Broadcast layer's full-set gossip
+// (MsgType::kAbGossip) and state transfer (MsgType::kAbState) payloads.
+//
+// Digest-mode gossip (kAbGossipDigest) lives in core/gossip_wire.hpp next to
+// its copy-free encoder and delta planner. Keeping every layout in a *_wire
+// header gives each payload exactly one definition site and makes it
+// reachable from tests/wire_roundtrip_test.cpp — tools/ablint enforces both
+// (wire-tag homes, registered round-trip tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/codec.hpp"
+#include "core/agreed_log.hpp"
+#include "core/app_msg.hpp"
+
+namespace abcast::core {
+
+/// Full-set gossip datagram (Options::digest_gossip == false): the sender's
+/// round, delivered count, and its entire Unordered set.
+struct GossipMsg {
+  std::uint64_t k = 0;
+  /// Local delivered count — advertised so peers can trim state transfers
+  /// to the missing tail (§5.3 optimization).
+  std::uint64_t total = 0;
+  std::vector<AppMsg> unordered;
+
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.u64(total);
+    w.vec(unordered, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
+  }
+  static GossipMsg decode(BufReader& r) {
+    GossipMsg m;
+    m.k = r.u64();
+    m.total = r.u64();
+    m.unordered =
+        r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
+    return m;
+  }
+};
+
+/// State-transfer datagram: either the sender's complete Agreed
+/// representation or, when the recipient advertised its position, just the
+/// missing tail (§5.3 optimization).
+struct StateMsg {
+  std::uint64_t k = 0;  // sender's round minus one (paper Fig. 3, line d)
+  bool trimmed = false;
+  // Full transfer: the complete Agreed representation.
+  AgreedLog agreed;
+  // Trimmed transfer: only the sequence tail after the recipient's
+  // advertised position (`base_total` messages omitted).
+  std::uint64_t base_total = 0;
+  std::vector<AppMsg> tail;
+
+  void encode(BufWriter& w) const {
+    w.u64(k);
+    w.boolean(trimmed);
+    if (trimmed) {
+      w.u64(base_total);
+      w.vec(tail, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
+    } else {
+      agreed.encode(w);
+    }
+  }
+  static StateMsg decode(BufReader& r) {
+    StateMsg m;
+    m.k = r.u64();
+    m.trimmed = r.boolean();
+    if (m.trimmed) {
+      m.base_total = r.u64();
+      m.tail = r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
+    } else {
+      m.agreed = AgreedLog::decode(r);
+    }
+    return m;
+  }
+};
+
+}  // namespace abcast::core

@@ -5,71 +5,17 @@
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
+#include "core/ab_wire.hpp"
 #include "core/gossip_wire.hpp"
 #include "storage/sealed_record.hpp"
 
 namespace abcast::core {
 namespace {
 
-struct GossipMsg {
-  std::uint64_t k = 0;
-  /// Local delivered count — advertised so peers can trim state transfers
-  /// to the missing tail (§5.3 optimization).
-  std::uint64_t total = 0;
-  std::vector<AppMsg> unordered;
-
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.u64(total);
-    w.vec(unordered, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
-  }
-  static GossipMsg decode(BufReader& r) {
-    GossipMsg m;
-    m.k = r.u64();
-    m.total = r.u64();
-    m.unordered =
-        r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
-    return m;
-  }
-};
-
-// DigestMsg (the kAbGossipDigest payload) lives in core/gossip_wire.hpp,
-// next to the copy-free encoder and the delta planner, so its layout has a
-// single definition and a round-trip test.
-
-struct StateMsg {
-  std::uint64_t k = 0;  // sender's round minus one (paper Fig. 3, line d)
-  bool trimmed = false;
-  // Full transfer: the complete Agreed representation.
-  AgreedLog agreed;
-  // Trimmed transfer: only the sequence tail after the recipient's
-  // advertised position (`base_total` messages omitted).
-  std::uint64_t base_total = 0;
-  std::vector<AppMsg> tail;
-
-  void encode(BufWriter& w) const {
-    w.u64(k);
-    w.boolean(trimmed);
-    if (trimmed) {
-      w.u64(base_total);
-      w.vec(tail, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
-    } else {
-      agreed.encode(w);
-    }
-  }
-  static StateMsg decode(BufReader& r) {
-    StateMsg m;
-    m.k = r.u64();
-    m.trimmed = r.boolean();
-    if (m.trimmed) {
-      m.base_total = r.u64();
-      m.tail = r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
-    } else {
-      m.agreed = AgreedLog::decode(r);
-    }
-    return m;
-  }
-};
+// GossipMsg (kAbGossip) and StateMsg (kAbState) live in core/ab_wire.hpp;
+// DigestMsg (kAbGossipDigest) in core/gossip_wire.hpp, next to the
+// copy-free encoder and the delta planner. Every payload layout has a
+// single definition site and a round-trip test (enforced by tools/ablint).
 
 constexpr const char* kCkptKey = "ckpt";
 constexpr const char* kUnorderedKey = "unord";
@@ -327,7 +273,7 @@ void AtomicBroadcast::maybe_propose() {
     // changes: consecutive rounds proposing the same backlog (common while
     // peers catch up) reuse the encoding instead of re-serializing it.
     BufWriter w;
-    w.u32(static_cast<std::uint32_t>(unordered_.size()));
+    w.u32(checked_u32(unordered_.size()));
     for (const auto& [id, m] : unordered_) m.encode(w);
     proposal_cache_ = std::move(w).take();
     proposal_cache_valid_ = true;
@@ -406,7 +352,7 @@ void AtomicBroadcast::send_gossip_now() {
   BufWriter w;
   w.u64(k_);
   w.u64(agreed_.total());
-  w.u32(static_cast<std::uint32_t>(unordered_.size()));
+  w.u32(checked_u32(unordered_.size()));
   for (const auto& [id, m] : unordered_) m.encode(w);
   const Wire wire{MsgType::kAbGossip, std::move(w).take()};
   metrics_.gossip_bytes_sent += wire.payload.size() * env_.group_size();

@@ -26,6 +26,7 @@
 #include <map>
 #include <vector>
 
+#include "common/relaxed_counter.hpp"
 #include "common/types.hpp"
 #include "core/app_msg.hpp"
 #include "consensus/consensus.hpp"
@@ -40,34 +41,34 @@
 namespace abcast::core {
 
 struct AbMetrics {
-  std::uint64_t broadcasts = 0;
-  std::uint64_t delivered = 0;
-  std::uint64_t rounds_completed = 0;
-  std::uint64_t replayed_rounds = 0;   // rounds re-applied during recovery
-  std::uint64_t proposals = 0;
-  std::uint64_t empty_proposals = 0;   // proposals for missed rounds
-  std::uint64_t gossip_sent = 0;
-  std::uint64_t gossip_received = 0;
+  RelaxedU64 broadcasts;
+  RelaxedU64 delivered;
+  RelaxedU64 rounds_completed;
+  RelaxedU64 replayed_rounds;   // rounds re-applied during recovery
+  RelaxedU64 proposals;
+  RelaxedU64 empty_proposals;   // proposals for missed rounds
+  RelaxedU64 gossip_sent;
+  RelaxedU64 gossip_received;
   /// Gossip payload bytes produced (payload size × recipients), across
   /// full-set, digest, delta, and eager datagrams.
-  std::uint64_t gossip_bytes_sent = 0;
-  std::uint64_t digest_sent = 0;       // digest-only multisends (anti-entropy)
-  std::uint64_t delta_sent = 0;        // per-peer delta datagrams (reply+eager)
-  std::uint64_t delta_msgs_sent = 0;   // AppMsgs shipped inside deltas
+  RelaxedU64 gossip_bytes_sent;
+  RelaxedU64 digest_sent;       // digest-only multisends (anti-entropy)
+  RelaxedU64 delta_sent;        // per-peer delta datagrams (reply+eager)
+  RelaxedU64 delta_msgs_sent;   // AppMsgs shipped inside deltas
   /// Delta messages that did not extend the local per-sender coverage on
   /// arrival (a push overtook its predecessor on the non-FIFO channel) and
   /// were parked in the reorder buffer; see DESIGN.md.
-  std::uint64_t delta_rejected = 0;
-  std::uint64_t gossip_suppressed = 0;  // idle ticks skipped (satellite 1)
-  std::uint64_t proposal_cache_hits = 0;  // proposals reusing cached encoding
-  std::uint64_t state_sent = 0;
-  std::uint64_t state_sent_trimmed = 0;  // of which tail-only (§5.3 opt.)
-  std::uint64_t state_applied = 0;       // state transfers adopted
-  std::uint64_t checkpoints = 0;
+  RelaxedU64 delta_rejected;
+  RelaxedU64 gossip_suppressed;  // idle ticks skipped (satellite 1)
+  RelaxedU64 proposal_cache_hits;  // proposals reusing cached encoding
+  RelaxedU64 state_sent;
+  RelaxedU64 state_sent_trimmed;  // of which tail-only (§5.3 opt.)
+  RelaxedU64 state_applied;       // state transfers adopted
+  RelaxedU64 checkpoints;
   /// Stored records found torn/corrupt during recovery (CRC or decode
   /// failure) and discarded; the protocol fell back to replay/state
   /// transfer instead of trusting them.
-  std::uint64_t corrupt_records = 0;
+  RelaxedU64 corrupt_records;
 };
 
 class AtomicBroadcast {

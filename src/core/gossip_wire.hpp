@@ -55,7 +55,7 @@ inline void encode_digest_payload(BufWriter& w, std::uint64_t k,
   w.u64(total);
   w.boolean(want_reply);
   w.vec(cover, [](BufWriter& ww, std::uint64_t c) { ww.u64(c); });
-  w.u32(static_cast<std::uint32_t>(msgs.size()));
+  w.u32(checked_u32(msgs.size()));
   for (const auto* m : msgs) m->encode(w);
 }
 

@@ -108,7 +108,7 @@ class VectorClock {
     return true;
   }
 
-  std::uint32_t size() const { return static_cast<std::uint32_t>(tops_.size()); }
+  std::uint32_t size() const { return checked_u32(tops_.size()); }
 
   friend bool operator==(const VectorClock&, const VectorClock&) = default;
 

@@ -154,7 +154,7 @@ MetricsGroup& MetricsGroup::operator=(MetricsGroup&& other) noexcept {
 MetricsGroup::~MetricsGroup() { reset(); }
 
 void MetricsGroup::bind(std::string name, Labels labels,
-                        const std::uint64_t* slot) {
+                        const RelaxedU64* slot) {
   if (registry_ == nullptr) return;
   registry_->add_binding(group_id_,
                          {std::move(name), std::move(labels)}, slot);
@@ -199,7 +199,7 @@ MetricsGroup MetricsRegistry::group() {
 }
 
 void MetricsRegistry::add_binding(std::uint64_t group_id, Key key,
-                                  const std::uint64_t* slot) {
+                                  const RelaxedU64* slot) {
   std::lock_guard<std::mutex> lock(mu_);
   bindings_.push_back(Binding{std::move(key), slot, group_id});
 }
@@ -218,7 +218,7 @@ Snapshot MetricsRegistry::snapshot() const {
   // sim hosts binding with identical labels would be a caller bug, but a
   // re-bound slot after recovery plus a stale not-yet-dropped one is not).
   std::map<Key, std::uint64_t> bound;
-  for (const auto& b : bindings_) bound[b.key] += *b.slot;
+  for (const auto& b : bindings_) bound[b.key] += b.slot->load();
 
   for (const auto& [key, value] : bound) {
     SnapshotEntry e;

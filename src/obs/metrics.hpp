@@ -7,10 +7,12 @@
 //    survives for the registry's lifetime, so a metric accumulates across
 //    process incarnations (crash destroys the node object, not the registry).
 //
-//  * Bindings — bind() registers a read-only view onto a counter field that
-//    already lives in some struct (AbMetrics, ConsensusMetrics,
-//    StorageStats). The hot path stays a plain `field += 1`; the registry
-//    only dereferences the pointer at snapshot time. Because the bound slot
+//  * Bindings — bind() registers a read-only view onto a RelaxedU64 counter
+//    field that already lives in some struct (AbMetrics, ConsensusMetrics).
+//    The hot path stays a plain `field += 1` (a relaxed fetch_add); the
+//    registry only reads the slot at snapshot time — the slot must be a
+//    RelaxedU64 because snapshot() runs on whatever thread asked for it,
+//    concurrent with hot-path increments. Because the bound slot
 //    dies with its owner, binders hold a MetricsGroup whose destructor
 //    removes the bindings (declare the group LAST in the owning class so it
 //    unbinds before the slots are destroyed).
@@ -22,6 +24,8 @@
 
 #include <array>
 #include <atomic>
+
+#include "common/relaxed_counter.hpp"
 #include <bit>
 #include <cstdint>
 #include <iosfwd>
@@ -146,7 +150,7 @@ class MetricsGroup {
 
   /// Binds a live counter slot under (name, labels). No-op on a default
   /// (registry-less) group, so callers can bind unconditionally.
-  void bind(std::string name, Labels labels, const std::uint64_t* slot);
+  void bind(std::string name, Labels labels, const RelaxedU64* slot);
 
   /// Removes all bindings made through this group.
   void reset();
@@ -189,11 +193,11 @@ class MetricsRegistry {
 
   struct Binding {
     Key key;
-    const std::uint64_t* slot;
+    const RelaxedU64* slot;
     std::uint64_t group_id;
   };
 
-  void add_binding(std::uint64_t group_id, Key key, const std::uint64_t* slot);
+  void add_binding(std::uint64_t group_id, Key key, const RelaxedU64* slot);
   void drop_group(std::uint64_t group_id);
 
   mutable std::mutex mu_;

@@ -45,7 +45,7 @@ TEST(MetricsRegistryTest, SnapshotValueAndSumByName) {
 
 TEST(MetricsRegistryTest, BoundSlotsAppearInSnapshots) {
   MetricsRegistry reg;
-  std::uint64_t slot_a = 0, slot_b = 0;
+  RelaxedU64 slot_a, slot_b;
   MetricsGroup g = reg.group();
   g.bind("field", {{"node", "0"}}, &slot_a);
   g.bind("field", {{"node", "1"}}, &slot_b);
@@ -56,14 +56,14 @@ TEST(MetricsRegistryTest, BoundSlotsAppearInSnapshots) {
 
   // Two slots bound under the SAME key sum at snapshot time (a recovered
   // incarnation re-binding while the metric name persists).
-  std::uint64_t slot_a2 = 100;
+  RelaxedU64 slot_a2 = 100;
   g.bind("field", {{"node", "0"}}, &slot_a2);
   EXPECT_EQ(reg.snapshot().value("field", {{"node", "0"}}), 104);
 }
 
 TEST(MetricsRegistryTest, GroupResetAndDestructionUnbind) {
   MetricsRegistry reg;
-  std::uint64_t slot = 9;
+  RelaxedU64 slot = 9;
   {
     MetricsGroup g = reg.group();
     g.bind("field", {}, &slot);
@@ -84,7 +84,7 @@ TEST(MetricsRegistryTest, GroupResetAndDestructionUnbind) {
 
 TEST(MetricsRegistryTest, DetachedGroupBindIsNoop) {
   MetricsGroup g;
-  std::uint64_t slot = 1;
+  RelaxedU64 slot = 1;
   EXPECT_FALSE(g.attached());
   g.bind("x", {}, &slot);  // must not crash
   g.reset();
@@ -92,7 +92,7 @@ TEST(MetricsRegistryTest, DetachedGroupBindIsNoop) {
 
 TEST(MetricsRegistryTest, MoveTransfersBindings) {
   MetricsRegistry reg;
-  std::uint64_t slot = 2;
+  RelaxedU64 slot = 2;
   MetricsGroup g = reg.group();
   g.bind("x", {}, &slot);
   MetricsGroup g2 = std::move(g);

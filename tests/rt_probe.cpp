@@ -13,9 +13,11 @@ int main() {
   rt::RtConfig cfg;
   cfg.n = 3;
   cfg.net.drop_prob = 0.05;
-  rt::RtCluster cluster(cfg);
+  // Declared before the cluster so the counters outlive the host threads,
+  // which increment them until ~RtCluster joins.
   std::atomic<std::uint64_t> applied[3];
   for (auto& a : applied) a = 0;
+  rt::RtCluster cluster(cfg);
   cluster.set_node_factory([&](Env& env) {
     const ProcessId pid = env.self();
     core::StackConfig scfg;

@@ -20,7 +20,7 @@ namespace {
 
 struct RtKv {
   explicit RtKv(rt::RtConfig cfg, core::StackConfig stack = {})
-      : cluster(cfg), applied(cfg.n) {
+      : applied(cfg.n), cluster(cfg) {
     for (auto& a : applied) a = std::make_unique<std::atomic<std::uint64_t>>(0);
     cluster.set_node_factory([this, stack](Env& env) {
       const ProcessId pid = env.self();
@@ -47,8 +47,10 @@ struct RtKv {
     return out;
   }
 
-  rt::RtCluster cluster;
+  // `applied` outlives `cluster`: host threads increment the counters via
+  // the apply callback until ~RtCluster joins them.
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> applied;
+  rt::RtCluster cluster;
 };
 
 }  // namespace

@@ -19,7 +19,7 @@ namespace {
 struct UdpKv {
   explicit UdpKv(std::uint32_t n, std::uint64_t seed,
                  core::StackConfig stack = {})
-      : hosts(make_local_udp_cluster(n, seed)), applied(n) {
+      : applied(n), hosts(make_local_udp_cluster(n, seed)) {
     for (auto& a : applied) {
       a = std::make_unique<std::atomic<std::uint64_t>>(0);
     }
@@ -61,8 +61,11 @@ struct UdpKv {
     return pred();
   }
 
-  std::vector<std::unique_ptr<UdpHost>> hosts;
+  // `applied` is declared before `hosts` so it is destroyed after them:
+  // ~UdpHost joins the loop thread, which runs the apply callback that
+  // increments these counters right up until the join (TSan-verified).
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> applied;
+  std::vector<std::unique_ptr<UdpHost>> hosts;
   NodeFactory factory;
 };
 

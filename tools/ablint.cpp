@@ -1,0 +1,447 @@
+// ablint — repo-specific protocol-discipline checker for the abcast tree.
+//
+// Generic tools (clang-tidy, TSan) catch UB and races; ablint enforces the
+// conventions that keep the hand-rolled wire protocol honest, the ones only
+// this repository can define:
+//
+//   wire-tag-home       Every kAb*/kCs* wire-tag enumerator is DEFINED
+//                       exactly once, and only inside a `*wire.hpp` or
+//                       `keys.hpp` home. A second definition site is how the
+//                       duplicated kAbGossipDigest encoder bug (PR 3 review)
+//                       happened; uses are free, layouts are not.
+//
+//   roundtrip-registered  Every payload struct with a `void encode(BufWriter`
+//                       member in src/core or src/consensus has a registered
+//                       round-trip test: a `ablint:roundtrip <Name>` marker
+//                       somewhere under tests/ (see wire_roundtrip_test.cpp).
+//
+//   raw-wire-access     No `memcpy(` / `reinterpret_cast<` in src/ outside
+//                       common/codec.{hpp,cpp} — every wire buffer goes
+//                       through the bounds-checked BufWriter/BufReader.
+//                       Casting to `sockaddr*` is exempt (kernel socket API,
+//                       not a wire buffer).
+//
+//   metrics-indexed     Every AbMetrics / ConsensusMetrics counter field is
+//                       referenced (as ab_<field> / cons_<field>) in the
+//                       EXPERIMENTS.md metrics index, so no counter can be
+//                       added without documenting which experiment reads it.
+//
+// Usage:
+//   ablint [--root <repo-root>]   # scan; file:line diagnostics; exit 1 on
+//                                 # any violation
+//   ablint --selftest             # run every rule against seeded in-memory
+//                                 # violations; exit 1 unless each rule both
+//                                 # fires on its seed and stays quiet on a
+//                                 # clean fixture
+//
+// Plain C++20 + std::filesystem; no third-party dependencies, so it builds
+// everywhere the tree builds and runs in CI as its own job.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct SourceFile {
+  std::string path;                 // repo-relative, for diagnostics
+  std::vector<std::string> lines;   // raw text, 0-indexed
+};
+
+struct Diag {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string msg;
+};
+
+// Strips a trailing // comment (good enough for this tree: no protocol code
+// hides wire tags inside string literals or /* */ blocks).
+std::string strip_line_comment(const std::string& line) {
+  const auto pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+std::string basename_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_wire_home(const std::string& path) {
+  const std::string base = basename_of(path);
+  return ends_with(base, "wire.hpp") || base == "keys.hpp";
+}
+
+// ---------------------------------------------------------------- rule 1
+
+// A *definition* is `kAb…` / `kCs…` followed by a single `=` (enumerator or
+// constant initializer). `==`, `!=`, `<=`, `>=` comparisons and bare uses
+// never match.
+std::vector<Diag> check_wire_tag_homes(const std::vector<SourceFile>& src) {
+  static const std::regex def_re(R"((\bk(?:Ab|Cs)[A-Za-z0-9_]*)\s*=(?![=]))");
+  std::vector<Diag> out;
+  std::map<std::string, std::vector<std::pair<std::string, std::size_t>>> defs;
+  for (const auto& f : src) {
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string code = strip_line_comment(f.lines[i]);
+      auto begin = std::sregex_iterator(code.begin(), code.end(), def_re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string tag = (*it)[1].str();
+        defs[tag].emplace_back(f.path, i + 1);
+        if (!is_wire_home(f.path)) {
+          out.push_back({f.path, i + 1, "wire-tag-home",
+                         "wire tag '" + tag +
+                             "' defined outside a *wire.hpp/keys.hpp home"});
+        }
+      }
+    }
+  }
+  for (const auto& [tag, sites] : defs) {
+    if (sites.size() <= 1) continue;
+    for (const auto& [path, line] : sites) {
+      out.push_back({path, line, "wire-tag-home",
+                     "wire tag '" + tag + "' defined " +
+                         std::to_string(sites.size()) +
+                         " times (layouts must have one definition site)"});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- rule 2
+
+bool in_roundtrip_scope(const std::string& path) {
+  return path.rfind("src/core/", 0) == 0 ||
+         path.rfind("src/consensus/", 0) == 0;
+}
+
+std::vector<Diag> check_roundtrip_registered(
+    const std::vector<SourceFile>& src, const std::vector<SourceFile>& tests) {
+  static const std::regex type_re(R"(\b(?:struct|class)\s+([A-Za-z_]\w*))");
+  static const std::regex marker_re(R"(ablint:roundtrip\s+([A-Za-z_]\w*))");
+
+  std::set<std::string> registered;
+  for (const auto& f : tests) {
+    for (const auto& line : f.lines) {
+      std::smatch m;
+      std::string rest = line;
+      while (std::regex_search(rest, m, marker_re)) {
+        registered.insert(m[1].str());
+        rest = m.suffix();
+      }
+    }
+  }
+
+  std::vector<Diag> out;
+  for (const auto& f : src) {
+    if (!in_roundtrip_scope(f.path)) continue;
+    std::string current_type;  // last struct/class name seen in this file
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string code = strip_line_comment(f.lines[i]);
+      std::smatch m;
+      if (std::regex_search(code, m, type_re)) current_type = m[1].str();
+      if (code.find("void encode(BufWriter") == std::string::npos) continue;
+      if (current_type.empty()) {
+        out.push_back({f.path, i + 1, "roundtrip-registered",
+                       "encode(BufWriter&) outside any struct/class"});
+      } else if (registered.count(current_type) == 0) {
+        out.push_back(
+            {f.path, i + 1, "roundtrip-registered",
+             "'" + current_type +
+                 "' has encode(BufWriter&) but no 'ablint:roundtrip " +
+                 current_type + "' marker under tests/"});
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- rule 3
+
+bool is_codec_home(const std::string& path) {
+  return path == "src/common/codec.hpp" || path == "src/common/codec.cpp";
+}
+
+std::vector<Diag> check_raw_wire_access(const std::vector<SourceFile>& src) {
+  static const std::regex raw_re(R"(\bmemcpy\s*\(|reinterpret_cast\s*<)");
+  static const std::regex sockaddr_re(
+      R"(reinterpret_cast\s*<\s*(?:const\s+)?sockaddr\s*\*\s*>)");
+  std::vector<Diag> out;
+  for (const auto& f : src) {
+    if (is_codec_home(f.path)) continue;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string code = strip_line_comment(f.lines[i]);
+      if (!std::regex_search(code, raw_re)) continue;
+      // The kernel socket API requires sockaddr casts; they are address
+      // structs, not wire buffers.
+      std::string residue = std::regex_replace(code, sockaddr_re, "");
+      if (!std::regex_search(residue, raw_re)) continue;
+      out.push_back({f.path, i + 1, "raw-wire-access",
+                     "raw memcpy/reinterpret_cast outside common/codec — "
+                     "use BufWriter/BufReader"});
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- rule 4
+
+struct MetricsStruct {
+  std::string struct_name;  // e.g. "AbMetrics"
+  std::string prefix;       // e.g. "ab_"
+};
+
+std::vector<Diag> check_metrics_indexed(const std::vector<SourceFile>& src,
+                                        const SourceFile& experiments) {
+  static const std::vector<MetricsStruct> kStructs = {
+      {"AbMetrics", "ab_"}, {"ConsensusMetrics", "cons_"}};
+  static const std::regex field_re(
+      R"(^\s*(?:RelaxedU64|std::uint64_t)\s+([A-Za-z_]\w*)\s*(?:=\s*0\s*)?;)");
+
+  std::string index_text;
+  for (const auto& line : experiments.lines) index_text += line + '\n';
+
+  std::vector<Diag> out;
+  for (const auto& f : src) {
+    for (const auto& ms : kStructs) {
+      const std::string open = "struct " + ms.struct_name + " {";
+      for (std::size_t i = 0; i < f.lines.size(); ++i) {
+        if (f.lines[i].find(open) == std::string::npos) continue;
+        for (std::size_t j = i + 1; j < f.lines.size(); ++j) {
+          if (f.lines[j].find("};") != std::string::npos) break;
+          std::smatch m;
+          const std::string code = strip_line_comment(f.lines[j]);
+          if (!std::regex_search(code, m, field_re)) continue;
+          const std::string metric = ms.prefix + m[1].str();
+          if (index_text.find(metric) == std::string::npos) {
+            out.push_back({f.path, j + 1, "metrics-indexed",
+                           "counter '" + metric +
+                               "' is not referenced in the EXPERIMENTS.md "
+                               "metrics index"});
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- file loading
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+bool load_file(const fs::path& abs, const std::string& rel, SourceFile& out) {
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out.path = rel;
+  out.lines = split_lines(ss.str());
+  return true;
+}
+
+std::vector<SourceFile> load_tree(const fs::path& root,
+                                  const std::string& subdir) {
+  std::vector<SourceFile> files;
+  const fs::path base = root / subdir;
+  if (!fs::exists(base)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(base)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    SourceFile f;
+    if (load_file(entry.path(), fs::relative(entry.path(), root).string(), f))
+      files.push_back(std::move(f));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+// ------------------------------------------------------------------ driver
+
+int report(const std::vector<Diag>& diags) {
+  for (const auto& d : diags) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", d.path.c_str(), d.line,
+                 d.rule.c_str(), d.msg.c_str());
+  }
+  if (!diags.empty()) {
+    std::fprintf(stderr, "ablint: %zu violation(s)\n", diags.size());
+    return 1;
+  }
+  std::printf("ablint: clean\n");
+  return 0;
+}
+
+SourceFile mem_file(const std::string& path, const std::string& text) {
+  return SourceFile{path, split_lines(text)};
+}
+
+// One seeded violation per rule, plus a clean twin — the selftest fails if a
+// rule misses its seed (false negative) or fires on the clean twin (false
+// positive).
+int selftest() {
+  int failures = 0;
+  const auto expect = [&failures](const char* what,
+                                  const std::vector<Diag>& diags,
+                                  std::size_t want, const char* rule) {
+    const bool rule_ok =
+        want == 0 ||
+        std::all_of(diags.begin(), diags.end(),
+                    [rule](const Diag& d) { return d.rule == rule; });
+    if (diags.size() == want && rule_ok) {
+      std::printf("  ok   %s\n", what);
+    } else {
+      std::printf("  FAIL %s: got %zu diagnostic(s), want %zu\n", what,
+                  diags.size(), want);
+      for (const auto& d : diags)
+        std::printf("         %s:%zu [%s] %s\n", d.path.c_str(), d.line,
+                    d.rule.c_str(), d.msg.c_str());
+      failures += 1;
+    }
+  };
+
+  // wire-tag-home: seeded re-definition of a tag outside a wire home.
+  {
+    const auto home = mem_file("src/env/wire.hpp", "  kAbGossip = 48,\n");
+    const auto rogue =
+        mem_file("src/core/rogue.cpp",
+                 "constexpr std::uint16_t kAbGossip = 48;\n"
+                 "bool b = t == MsgType::kAbGossip;  // use: fine\n");
+    expect("wire-tag-home fires on out-of-home duplicate definition",
+           check_wire_tag_homes({home, rogue}), 3, "wire-tag-home");
+    expect("wire-tag-home clean on single in-home definition",
+           check_wire_tag_homes({home}), 0, "wire-tag-home");
+  }
+
+  // roundtrip-registered: seeded encode() with no marker.
+  {
+    const auto payload = mem_file("src/core/rogue_wire.hpp",
+                                  "struct RogueMsg {\n"
+                                  "  void encode(BufWriter& w) const;\n"
+                                  "};\n");
+    const auto with_marker = mem_file(
+        "tests/wire_roundtrip_test.cpp", "// ablint:roundtrip RogueMsg\n");
+    expect("roundtrip-registered fires on unregistered payload",
+           check_roundtrip_registered({payload}, {}), 1,
+           "roundtrip-registered");
+    expect("roundtrip-registered clean once marker exists",
+           check_roundtrip_registered({payload}, {with_marker}), 0,
+           "roundtrip-registered");
+  }
+
+  // raw-wire-access: seeded memcpy into a frame outside codec.
+  {
+    const auto rogue = mem_file(
+        "src/net/rogue.cpp",
+        "  std::memcpy(frame.data(), &tag, sizeof tag);\n"
+        "  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), len);  // exempt\n");
+    const auto codec =
+        mem_file("src/common/codec.hpp",
+                 "  const char* p = reinterpret_cast<const char*>(d);\n");
+    expect("raw-wire-access fires on memcpy outside codec",
+           check_raw_wire_access({rogue, codec}), 1, "raw-wire-access");
+    const auto clean = mem_file("src/net/clean.cpp",
+                                "  w.u32(tag);  // through the codec\n");
+    expect("raw-wire-access clean on codec-mediated writes",
+           check_raw_wire_access({clean, codec}), 0, "raw-wire-access");
+  }
+
+  // metrics-indexed: seeded counter missing from the index.
+  {
+    const auto metrics = mem_file("src/core/atomic_broadcast.hpp",
+                                  "struct AbMetrics {\n"
+                                  "  RelaxedU64 broadcasts;\n"
+                                  "  RelaxedU64 unindexed_counter;\n"
+                                  "};\n");
+    const auto index =
+        mem_file("EXPERIMENTS.md", "| E2 | `ab_broadcasts` |\n");
+    const auto full_index = mem_file(
+        "EXPERIMENTS.md", "| E2 | `ab_broadcasts`, `ab_unindexed_counter` |\n");
+    expect("metrics-indexed fires on unindexed counter",
+           check_metrics_indexed({metrics}, index), 1, "metrics-indexed");
+    expect("metrics-indexed clean when every counter is indexed",
+           check_metrics_indexed({metrics}, full_index), 0, "metrics-indexed");
+  }
+
+  if (failures == 0) {
+    std::printf("ablint selftest: all rules fire on seeded violations\n");
+    return 0;
+  }
+  std::printf("ablint selftest: %d FAILURE(S)\n", failures);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--selftest") return selftest();
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: ablint [--root <repo-root>] [--selftest]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "ablint: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr,
+                 "ablint: no src/ under '%s' (pass --root <repo-root>)\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  const auto src = load_tree(root, "src");
+  const auto tests = load_tree(root, "tests");
+  SourceFile experiments;
+  if (!load_file(root / "EXPERIMENTS.md", "EXPERIMENTS.md", experiments)) {
+    std::fprintf(stderr, "ablint: cannot read EXPERIMENTS.md under '%s'\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  std::vector<Diag> diags;
+  const auto add = [&diags](std::vector<Diag> v) {
+    diags.insert(diags.end(), v.begin(), v.end());
+  };
+  add(check_wire_tag_homes(src));
+  add(check_roundtrip_registered(src, tests));
+  add(check_raw_wire_access(src));
+  add(check_metrics_indexed(src, experiments));
+  return report(diags);
+}
