@@ -1,0 +1,189 @@
+// E5b — Chunked, resumable state transfer (paper §5.3, hardened).
+//
+// The one-shot state message of §5.3 grows with the sender's history, so a
+// bounded transport (the rt/UDP host drops frames over 64 KiB) livelocks a
+// rejoining process once the history outgrows one datagram. The chunked
+// catch-up session streams the same state in self-contained chunks bounded
+// by Options::max_state_bytes and resumes from the receiver's acked
+// position after loss or a crash on either side. Measured here:
+//
+//   * catch-up stays feasible as the missed history grows past 64 KiB,
+//     with every state datagram at or below the configured bound;
+//   * a receiver crash mid-transfer costs a resume, not a restart.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "obs/trace.hpp"
+
+using namespace abcast;
+using namespace abcast::bench;
+using namespace abcast::harness;
+
+namespace {
+
+struct ChunkedCatchUp {
+  double catch_up_ms = 0;
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t chunk_bytes = 0;
+  std::uint64_t max_chunk_bytes = 0;  // largest state datagram observed
+  std::uint64_t resumes = 0;          // go-back rewinds across all senders
+  bool converged = false;
+};
+
+// The harness application's checkpoint is O(1) bytes (a position and a
+// prefix hash), so application checkpointing would fold any history into a
+// trivially small snapshot. Leaving it off keeps the missed history in the
+// AgreedLog's explicit suffix — the shape that made the seed's one-shot
+// state message outgrow a datagram. (The multi-slice snapshot phase is
+// exercised by the UDP regression test, whose KV checkpoint is >64 KiB.)
+ClusterConfig chunked_config(std::size_t max_state_bytes, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.sim.n = 3;
+  cfg.sim.seed = seed;
+  cfg.sim.trace_capacity = 1 << 16;  // to audit per-datagram chunk sizes
+  cfg.stack.ab.checkpointing = true;
+  cfg.stack.ab.truncate_logs = true;
+  cfg.stack.ab.state_transfer = true;
+  cfg.stack.ab.trimmed_state_transfer = true;
+  cfg.stack.ab.delta = 2;
+  cfg.stack.ab.checkpoint_period = millis(150);
+  cfg.stack.ab.max_state_bytes = max_state_bytes;
+  return cfg;
+}
+
+std::uint64_t max_chunk_wire_bytes(Cluster& c) {
+  std::uint64_t max_bytes = 0;
+  for (const auto& e : c.collect_trace()) {
+    if (e.kind == obs::EventKind::kStateTransfer &&
+        (e.detail == "send_chunk" || e.detail == "send_snap")) {
+      max_bytes = std::max(max_bytes, e.arg);
+    }
+  }
+  return max_bytes;
+}
+
+ChunkedCatchUp tally(Cluster& c, TimePoint start, bool converged) {
+  ChunkedCatchUp out;
+  out.converged = converged;
+  out.catch_up_ms = static_cast<double>(c.sim().now() - start) / 1e6;
+  for (ProcessId p = 0; p < c.sim().n(); ++p) {
+    const auto& m = c.stack(p)->ab().metrics();
+    out.chunks_sent += m.state_chunks_sent;
+    out.chunk_bytes += m.state_chunk_bytes_sent;
+    out.resumes += m.state_resumes;
+  }
+  out.max_chunk_bytes = max_chunk_wire_bytes(c);
+  return out;
+}
+
+/// One process misses `history_kb` KiB of 1-KiB broadcasts (well past the
+/// checkpoint + truncation horizon), then rejoins through the chunked
+/// session. `crash_mid_transfer` additionally crashes the receiver once
+/// mid-stream and lets the session resume from its re-advertised total.
+ChunkedCatchUp run_chunked(int history_kb, std::size_t max_state_bytes,
+                           bool crash_mid_transfer = false) {
+  Cluster c(chunked_config(max_state_bytes,
+                           700 + static_cast<std::uint64_t>(history_kb)));
+  c.start_all();
+  auto warm = c.broadcast_many(0, 2);
+  c.await_delivery(warm);
+
+  c.sim().crash(2);
+  std::vector<MsgId> ids;
+  for (int i = 0; i < history_kb; ++i) {
+    ids.push_back(c.broadcast(0, Bytes(1024, static_cast<std::uint8_t>(i))));
+    c.sim().run_for(millis(40));
+  }
+  c.await_delivery(ids, {0, 1}, seconds(600));
+  c.sim().run_for(millis(400));  // checkpoints fold + truncate the prefix
+  const auto target = c.stack(0)->ab().round();
+
+  const TimePoint start = c.sim().now();
+  c.sim().recover(2);
+  if (crash_mid_transfer) {
+    c.sim().run_for(millis(40));  // part of the stream lands, then the
+    c.sim().crash(2);             // receiver dies and rejoins
+    c.sim().run_for(millis(100));
+    c.sim().recover(2);
+  }
+  const bool converged = c.sim().run_until_pred(
+      [&] { return c.stack(2)->ab().round() >= target; },
+      c.sim().now() + seconds(600));
+  return tally(c, start, converged);
+}
+
+void run_tables() {
+  banner("E5b: chunked catch-up past the 64 KiB datagram bound",
+         "Claim: a catch-up session streams state in chunks bounded by "
+         "max_state_bytes, so rejoining stays feasible on a bounded "
+         "transport no matter how large the missed history is.");
+  const std::size_t kBudget = 56 * 1024;
+  Table t({"history KiB", "chunk budget", "catch-up ms", "chunks",
+           "state KB", "max chunk B", "resumes"});
+  const std::vector<int> histories =
+      bench_quick() ? std::vector<int>{24} : std::vector<int>{24, 96, 192};
+  for (const int kb : histories) {
+    for (const std::size_t budget : {std::size_t{8 * 1024}, kBudget}) {
+      const auto r = run_chunked(kb, budget);
+      t.row({std::to_string(kb), fmt_u64(budget / 1024) + " KiB",
+             Table::num(r.catch_up_ms), fmt_u64(r.chunks_sent),
+             Table::num(static_cast<double>(r.chunk_bytes) / 1e3, 1),
+             fmt_u64(r.max_chunk_bytes), fmt_u64(r.resumes)});
+      Json row;
+      row.field("experiment", "E5b")
+          .field("scenario", "rejoin")
+          .field("history_kib", kb)
+          .field("max_state_bytes", budget)
+          .field("catch_up_ms", r.catch_up_ms)
+          .field("chunks_sent", r.chunks_sent)
+          .field("chunk_bytes", r.chunk_bytes)
+          .field("max_chunk_bytes", r.max_chunk_bytes)
+          .field("resumes", r.resumes)
+          .field("converged", r.converged);
+      emit_json_row(row);
+    }
+  }
+  t.print(std::cout);
+
+  banner("E5b: receiver crash mid-transfer",
+         "Claim: a crash mid-session costs a resume from the receiver's "
+         "re-advertised position, not a restart of the whole transfer.");
+  Table t2({"history KiB", "catch-up ms", "chunks", "state KB", "resumes"});
+  const int kb = bench_quick() ? 24 : 96;
+  const std::size_t kSmallBudget = 8 * 1024;  // many chunks -> a real mid-point
+  const auto r = run_chunked(kb, kSmallBudget, /*crash_mid_transfer=*/true);
+  t2.row({std::to_string(kb), Table::num(r.catch_up_ms),
+          fmt_u64(r.chunks_sent),
+          Table::num(static_cast<double>(r.chunk_bytes) / 1e3, 1),
+          fmt_u64(r.resumes)});
+  t2.print(std::cout);
+  Json row;
+  row.field("experiment", "E5b")
+      .field("scenario", "crash_mid_transfer")
+      .field("history_kib", kb)
+      .field("max_state_bytes", kSmallBudget)
+      .field("catch_up_ms", r.catch_up_ms)
+      .field("chunks_sent", r.chunks_sent)
+      .field("chunk_bytes", r.chunk_bytes)
+      .field("max_chunk_bytes", r.max_chunk_bytes)
+      .field("resumes", r.resumes)
+      .field("converged", r.converged);
+  emit_json_row(row);
+}
+
+void BM_ChunkedCatchUp24KiB(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_chunked(24, 56 * 1024).catch_up_ms);
+  }
+}
+BENCHMARK(BM_ChunkedCatchUp24KiB)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  init_metrics_json(argc, argv);
+  run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

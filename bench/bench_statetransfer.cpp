@@ -46,8 +46,8 @@ CatchUp run_once(int down_rounds, bool state_transfer,
 
   const auto msgs_before = c.sim().net_stats().sent;
   const auto state_bytes_before =
-      c.sim().net_stats().bytes_by_type.count(MsgType::kAbState)
-          ? c.sim().net_stats().bytes_by_type.at(MsgType::kAbState)
+      c.sim().net_stats().bytes_by_type.count(MsgType::kAbStateChunk)
+          ? c.sim().net_stats().bytes_by_type.at(MsgType::kAbStateChunk)
           : 0;
   const TimePoint start = c.sim().now();
   c.sim().recover(2);
@@ -61,8 +61,8 @@ CatchUp run_once(int down_rounds, bool state_transfer,
   out.transfers = c.stack(2)->ab().metrics().state_applied;
   out.messages = c.sim().net_stats().sent - msgs_before;
   const auto state_bytes_after =
-      c.sim().net_stats().bytes_by_type.count(MsgType::kAbState)
-          ? c.sim().net_stats().bytes_by_type.at(MsgType::kAbState)
+      c.sim().net_stats().bytes_by_type.count(MsgType::kAbStateChunk)
+          ? c.sim().net_stats().bytes_by_type.at(MsgType::kAbStateChunk)
           : 0;
   out.state_bytes = state_bytes_after - state_bytes_before;
   return out;

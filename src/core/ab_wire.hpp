@@ -1,5 +1,6 @@
 // Wire formats for the Atomic Broadcast layer's full-set gossip
-// (MsgType::kAbGossip) and state transfer (MsgType::kAbState) payloads.
+// (MsgType::kAbGossip) and chunked state transfer (MsgType::kAbStateChunk)
+// payloads.
 //
 // Digest-mode gossip (kAbGossipDigest) lives in core/gossip_wire.hpp next to
 // its copy-free encoder and delta planner. Keeping every layout in a *_wire
@@ -41,41 +42,71 @@ struct GossipMsg {
   }
 };
 
-/// State-transfer datagram: either the sender's complete Agreed
-/// representation or, when the recipient advertised its position, just the
-/// missing tail (§5.3 optimization).
-struct StateMsg {
+/// One self-contained chunk of a §5.3 catch-up session (replaces the
+/// retired one-shot StateMsg, whose whole-AgreedLog payload could exceed
+/// the transport's 64 KiB frame limit and be silently dropped forever).
+///
+/// A session has two phases. The snapshot phase (only when the sender's
+/// prefix is folded into an application checkpoint the recipient predates)
+/// streams the encoded AppCheckpoint as byte slices: `offset` is the byte
+/// offset of `data` within the `snap_size`-byte encoding, `snap_total` the
+/// prefix count the snapshot covers (its version — a receiver staging bytes
+/// of an older snapshot restarts when a newer one appears). The tail phase
+/// streams the explicit suffix: `msgs` is the contiguous run of the global
+/// delivery sequence starting at position `offset`; only a chunk with
+/// `final_chunk` set advances the receiver's round to k+1, so losing the
+/// last chunk leaves the receiver visibly lagging and the session resumes.
+struct StateChunkMsg {
   std::uint64_t k = 0;  // sender's round minus one (paper Fig. 3, line d)
-  bool trimmed = false;
-  // Full transfer: the complete Agreed representation.
-  AgreedLog agreed;
-  // Trimmed transfer: only the sequence tail after the recipient's
-  // advertised position (`base_total` messages omitted).
-  std::uint64_t base_total = 0;
-  std::vector<AppMsg> tail;
+  bool snapshot = false;
+  /// Snapshot phase: byte offset of `data`. Tail phase: absolute sequence
+  /// position of msgs.front().
+  std::uint64_t offset = 0;
+  // Snapshot-phase fields.
+  std::uint64_t snap_total = 0;  // prefix count covered == snapshot version
+  std::uint64_t snap_size = 0;   // total encoded snapshot size in bytes
+  Bytes data;
+  // Tail-phase fields.
+  bool final_chunk = false;
+  std::vector<AppMsg> msgs;
 
   void encode(BufWriter& w) const {
     w.u64(k);
-    w.boolean(trimmed);
-    if (trimmed) {
-      w.u64(base_total);
-      w.vec(tail, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
+    w.boolean(snapshot);
+    w.u64(offset);
+    if (snapshot) {
+      w.u64(snap_total);
+      w.u64(snap_size);
+      w.bytes(data);
     } else {
-      agreed.encode(w);
+      w.boolean(final_chunk);
+      w.vec(msgs, [](BufWriter& ww, const AppMsg& m) { m.encode(ww); });
     }
   }
-  static StateMsg decode(BufReader& r) {
-    StateMsg m;
+  static StateChunkMsg decode(BufReader& r) {
+    StateChunkMsg m;
     m.k = r.u64();
-    m.trimmed = r.boolean();
-    if (m.trimmed) {
-      m.base_total = r.u64();
-      m.tail = r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
+    m.snapshot = r.boolean();
+    m.offset = r.u64();
+    if (m.snapshot) {
+      m.snap_total = r.u64();
+      m.snap_size = r.u64();
+      m.data = r.bytes();
     } else {
-      m.agreed = AgreedLog::decode(r);
+      m.final_chunk = r.boolean();
+      m.msgs = r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
     }
     return m;
   }
 };
+
+/// Encoded size of a tail chunk's fixed fields (k, snapshot, offset,
+/// final_chunk, msgs count). Used to budget tail chunks against
+/// Options::max_state_bytes, mirroring digest_header_bytes for deltas.
+inline std::size_t state_chunk_header_bytes() { return 8 + 1 + 8 + 1 + 4; }
+
+/// Encoded size of a snapshot chunk's fixed fields (k, snapshot, offset,
+/// snap_total, snap_size, data length prefix).
+inline std::size_t state_snap_header_bytes() { return 8 + 1 + 8 + 8 + 8 + 4; }
 
 }  // namespace abcast::core

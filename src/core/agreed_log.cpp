@@ -41,6 +41,13 @@ std::vector<AppMsg> AgreedLog::append_sequence(
   return delivered;
 }
 
+void AgreedLog::reset_to_base(AppCheckpoint ckpt) {
+  vc_ = ckpt.vc;
+  base_count_ = ckpt.count;
+  base_ = std::move(ckpt);
+  suffix_.clear();
+}
+
 void AgreedLog::compact(Bytes state) {
   AppCheckpoint ckpt;
   ckpt.state = std::move(state);

@@ -70,8 +70,18 @@ class AgreedLog {
   /// (paper Fig. 4, line b). `state` comes from the A-checkpoint upcall.
   void compact(Bytes state);
 
+  /// Replaces this whole prefix with a peer's application checkpoint
+  /// (chunked §5.3 state transfer, snapshot phase). The caller must have
+  /// verified the checkpoint strictly extends this prefix
+  /// (`ckpt.count > total()`); the suffix is discarded because the
+  /// checkpoint's clock covers it.
+  void reset_to_base(AppCheckpoint ckpt);
+
   /// Total messages in the prefix (checkpoint count + suffix length).
   std::uint64_t total() const { return base_count_ + suffix_.size(); }
+
+  /// Messages folded into the checkpoint part (0 until compact()).
+  std::uint64_t base_count() const { return base_count_; }
 
   const VectorClock& vc() const { return vc_; }
   const std::optional<AppCheckpoint>& base() const { return base_; }

@@ -1,7 +1,6 @@
 #include "core/atomic_broadcast.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/check.hpp"
 #include "common/logging.hpp"
@@ -12,10 +11,11 @@
 namespace abcast::core {
 namespace {
 
-// GossipMsg (kAbGossip) and StateMsg (kAbState) live in core/ab_wire.hpp;
-// DigestMsg (kAbGossipDigest) in core/gossip_wire.hpp, next to the
-// copy-free encoder and the delta planner. Every payload layout has a
-// single definition site and a round-trip test (enforced by tools/ablint).
+// GossipMsg (kAbGossip) and StateChunkMsg (kAbStateChunk) live in
+// core/ab_wire.hpp; DigestMsg (kAbGossipDigest) in core/gossip_wire.hpp,
+// next to the copy-free encoder and the delta planner. Every payload layout
+// has a single definition site and a round-trip test (enforced by
+// tools/ablint).
 
 constexpr const char* kCkptKey = "ckpt";
 constexpr const char* kUnorderedKey = "unord";
@@ -69,6 +69,15 @@ void AtomicBroadcast::bind_metrics() {
   metrics_group_.bind("ab_state_sent_trimmed", labels,
                       &metrics_.state_sent_trimmed);
   metrics_group_.bind("ab_state_applied", labels, &metrics_.state_applied);
+  metrics_group_.bind("ab_state_chunks_sent", labels,
+                      &metrics_.state_chunks_sent);
+  metrics_group_.bind("ab_state_chunk_bytes_sent", labels,
+                      &metrics_.state_chunk_bytes_sent);
+  metrics_group_.bind("ab_state_chunks_applied", labels,
+                      &metrics_.state_chunks_applied);
+  metrics_group_.bind("ab_state_snapshots_applied", labels,
+                      &metrics_.state_snapshots_applied);
+  metrics_group_.bind("ab_state_resumes", labels, &metrics_.state_resumes);
   metrics_group_.bind("ab_checkpoints", labels, &metrics_.checkpoints);
   metrics_group_.bind("ab_corrupt_records", labels,
                       &metrics_.corrupt_records);
@@ -335,9 +344,12 @@ void AtomicBroadcast::send_gossip_now() {
   if (options_.digest_gossip) {
     // Anti-entropy advertisement: a few bytes per sender, independent of
     // how many messages are waiting. want_reply pulls deltas from peers.
+    // The snapshot-staging ack fields keep a catch-up sender's view of our
+    // progress truthful even when its per-chunk acks are lost.
     const Wire wire =
         make_digest_wire(k_, agreed_.total(), /*want_reply=*/true,
-                         compute_cover(), {});
+                         compute_cover(), {}, snap_stage_total_,
+                         snap_stage_.size());
     metrics_.gossip_bytes_sent += wire.payload.size() * env_.group_size();
     env_.multisend(wire);
     metrics_.gossip_sent += 1;
@@ -383,6 +395,7 @@ bool AtomicBroadcast::gossip_needed() const {
 }
 
 void AtomicBroadcast::gossip_tick() {
+  gc_state_sessions();
   bool send = true;
   if (options_.suppress_idle_gossip) {
     idle_ticks_ += 1;
@@ -437,7 +450,8 @@ std::size_t AtomicBroadcast::send_delta_chunks(
   std::size_t shipped = 0;
   const auto flush = [&] {
     const Wire wire =
-        make_digest_wire(k_, agreed_.total(), want_reply, my_cover, chunk);
+        make_digest_wire(k_, agreed_.total(), want_reply, my_cover, chunk,
+                         snap_stage_total_, snap_stage_.size());
     metrics_.gossip_bytes_sent += wire.payload.size();
     env_.send(to, wire);
     metrics_.delta_sent += 1;
@@ -569,8 +583,10 @@ void AtomicBroadcast::maybe_send_pull(ProcessId to) {
   const TimePoint now = env_.now();
   if (now < view.next_pull_ok) return;
   view.next_pull_ok = now + options_.delta_reply_interval;
-  const Wire wire = make_digest_wire(k_, agreed_.total(),
-                                     /*want_reply=*/true, compute_cover(), {});
+  const Wire wire =
+      make_digest_wire(k_, agreed_.total(), /*want_reply=*/true,
+                       compute_cover(), {}, snap_stage_total_,
+                       snap_stage_.size());
   metrics_.gossip_bytes_sent += wire.payload.size();
   env_.send(to, wire);
   metrics_.digest_sent += 1;
@@ -582,7 +598,7 @@ void AtomicBroadcast::handle_round_info(ProcessId from, std::uint64_t peer_k,
   if (peer_k > k_) {
     gossip_k_ = std::max(gossip_k_, peer_k);  // the sender is ahead
   } else if (options_.state_transfer && k_ > peer_k + options_.delta) {
-    send_state(from, peer_total);  // Fig. 3 line d: sender lags far behind
+    state_pump_for(from, peer_total);  // Fig. 3 line d: sender lags far behind
   } else if (peer_k < k_) {
     // The sender lags within Δ (or state transfer is off): push it the
     // decisions it is missing — its original deciders may be gone.
@@ -607,6 +623,9 @@ void AtomicBroadcast::on_message(ProcessId from, const Wire& msg) {
       const auto [it, inserted] = unordered_.try_emplace(id, std::move(m));
       if (inserted) touch_unordered();
     }
+    // Full-set gossip carries no snapshot acks; the advertised total is
+    // still the tail-phase ack of a catch-up session.
+    note_state_ack(from, g.total, 0, 0);
     handle_round_info(from, g.k, g.total);
     drain();
     return;
@@ -625,6 +644,7 @@ void AtomicBroadcast::on_message(ProcessId from, const Wire& msg) {
       view.confirmed = std::move(g.cover);
     }
     const std::size_t rejected = merge_delta(std::move(g.msgs));
+    note_state_ack(from, g.total, g.ack_snap_total, g.ack_snap_bytes);
     handle_round_info(from, g.k, g.total);
     // peers_ is empty until start(); both hosts validate the frame sender
     // today, but a digest arriving early (or from a future host without
@@ -636,13 +656,13 @@ void AtomicBroadcast::on_message(ProcessId from, const Wire& msg) {
     drain();
     return;
   }
-  if (msg.type == MsgType::kAbState) {
-    auto s = decode_from_bytes<StateMsg>(msg.payload);
+  if (msg.type == MsgType::kAbStateChunk) {
+    auto s = decode_from_bytes<StateChunkMsg>(msg.payload);
     if (options_.state_transfer && k_ + options_.delta < s.k) {
-      if (s.trimmed) {
-        adopt_trimmed_state(s.k, s.base_total, s.tail);
+      if (s.snapshot) {
+        handle_snapshot_chunk(from, s);
       } else {
-        adopt_state(s.k, std::move(s.agreed));  // Fig. 3 lines e–f
+        handle_tail_chunk(from, s);  // Fig. 3 lines e–f, chunked
       }
     } else if (s.k > k_) {
       gossip_k_ = std::max(gossip_k_, s.k);  // small de-synchronization
@@ -652,53 +672,276 @@ void AtomicBroadcast::on_message(ProcessId from, const Wire& msg) {
   ABCAST_CHECK_MSG(false, "unexpected ab message type");
 }
 
-void AtomicBroadcast::send_state(ProcessId to,
-                                 std::uint64_t recipient_total) {
-  if (!options_.state_transfer) return;
-  // Throttle per peer: gossip arrives every gossip_period from a lagging
-  // process; one state message per period is plenty.
-  const TimePoint now = env_.now();
-  auto it = last_state_sent_.find(to);
-  if (it != last_state_sent_.end() &&
-      now - it->second < options_.gossip_period) {
-    return;
+// ---- §5.3 chunked catch-up sessions, sender side --------------------------
+
+void AtomicBroadcast::state_pump_for(ProcessId to,
+                                     std::uint64_t recipient_total) {
+  if (!options_.state_transfer || k_ < 1 || to == env_.self()) return;
+  auto it = state_sessions_.find(to);
+  if (it == state_sessions_.end()) {
+    CatchUpSession s;
+    s.acked_total = std::min(recipient_total, agreed_.total());
+    // sent_total starts at zero; the pump raises it to the phase floor
+    // (base_count for a full transfer, the acked total when trimming), so
+    // a full transfer really streams the whole explicit suffix.
+    s.sent_total = 0;
+    // §5.3's closing optimization, generalized: every session resumes from
+    // the receiver's advertised total, so "trimmed" now just records that
+    // the whole transfer is tail-only (no snapshot phase needed).
+    const bool needs_snapshot =
+        agreed_.base() && s.acked_total < agreed_.base_count();
+    s.trimmed = options_.trimmed_state_transfer && !needs_snapshot;
+    metrics_.state_sent += 1;
+    if (s.trimmed) metrics_.state_sent_trimmed += 1;
+    it = state_sessions_.emplace(to, std::move(s)).first;
   }
-  last_state_sent_[to] = now;
-  ABCAST_CHECK(k_ >= 1);
-  StateMsg s;
-  s.k = k_ - 1;
-  // §5.3 optimization: when our whole prefix is still explicit (no
-  // application checkpoint folded it away) and we know where the recipient
-  // stands, ship only the tail it is missing.
-  if (options_.trimmed_state_transfer && !agreed_.base() &&
-      recipient_total <= agreed_.suffix().size()) {
-    s.trimmed = true;
-    s.base_total = recipient_total;
-    s.tail = std::vector<AppMsg>(agreed_.suffix().begin() +
-                                     static_cast<std::ptrdiff_t>(recipient_total),
-                                 agreed_.suffix().end());
-    metrics_.state_sent_trimmed += 1;
-  } else {
-    s.agreed = agreed_;
-  }
-  env_.send(to, make_wire(MsgType::kAbState, s));
-  metrics_.state_sent += 1;
-  trace(obs::EventKind::kStateTransfer, s.k, MsgId{}, agreed_.total(),
-        s.trimmed ? "send_trim" : "send");
+  it->second.last_heard = env_.now();
+  state_pump(to, it->second);
 }
 
-void AtomicBroadcast::adopt_trimmed_state(std::uint64_t state_k,
-                                          std::uint64_t base_total,
-                                          const std::vector<AppMsg>& tail) {
-  // The omitted prefix must be exactly what we already delivered (total
-  // order makes equal counts mean equal prefixes). If we crashed since the
-  // gossip that advertised our count, our position may be smaller — then
-  // this transfer does not apply; the next gossip advertises the new count
-  // and the sender re-trims.
-  if (agreed_.total() < base_total) return;
-  trace(obs::EventKind::kStateTransfer, state_k, MsgId{},
-        base_total + tail.size(), "adopt_trim");
-  auto delivered = agreed_.append_sequence(tail);
+void AtomicBroadcast::note_state_ack(ProcessId from, std::uint64_t peer_total,
+                                     std::uint64_t ack_snap_total,
+                                     std::uint64_t ack_snap_bytes) {
+  auto it = state_sessions_.find(from);
+  if (it == state_sessions_.end()) return;
+  CatchUpSession& s = it->second;
+  s.last_heard = env_.now();
+  if (peer_total < s.acked_total) {
+    // The receiver's delivered count regressed: it crashed mid-transfer and
+    // recovered from an older checkpoint. Drop the session; its next gossip
+    // recreates one that resumes from the re-advertised total.
+    state_sessions_.erase(it);
+    return;
+  }
+  s.acked_total = std::max(s.acked_total,
+                           std::min(peer_total, agreed_.total()));
+  if (s.snap_total != 0 && peer_total < s.snap_total) {
+    if (ack_snap_total == s.snap_total) {
+      s.acked_snap_bytes = std::max(s.acked_snap_bytes, ack_snap_bytes);
+    } else {
+      // The receiver is not staging our snapshot version (no chunk landed
+      // yet, it restarted without regressing its total, or a newer version
+      // superseded ours): nothing of our stream is staged there.
+      s.acked_snap_bytes = 0;
+    }
+  }
+}
+
+void AtomicBroadcast::state_pump(ProcessId to, CatchUpSession& s) {
+  ABCAST_CHECK(k_ >= 1);
+  const TimePoint now = env_.now();
+  const std::uint64_t state_k = k_ - 1;
+  const std::uint64_t base_count = agreed_.base_count();
+
+  if (agreed_.base() && s.acked_total < base_count) {
+    // Snapshot phase: the receiver predates our application checkpoint, so
+    // the explicit suffix alone cannot reach it — stream the encoded
+    // checkpoint in byte slices. Encoded once per base version.
+    if (snap_cache_.empty() || snap_cache_total_ != base_count) {
+      snap_cache_ = encode_to_bytes(*agreed_.base());
+      snap_cache_total_ = base_count;
+    }
+    if (s.snap_total != snap_cache_total_) {
+      // First snapshot burst, or the base was re-compacted mid-session
+      // (compaction deferral timed out): restart the stream at this version.
+      s.snap_total = snap_cache_total_;
+      s.sent_snap_bytes = 0;
+      s.acked_snap_bytes = 0;
+    }
+    if (s.acked_snap_bytes < s.sent_snap_bytes) {
+      if (now < s.resend_at) return;  // burst in flight; wait for acks
+      s.sent_snap_bytes = s.acked_snap_bytes;  // go-back to the last ack
+      metrics_.state_resumes += 1;
+    }
+    if (s.sent_snap_bytes >= snap_cache_.size()) return;  // install pending
+    const std::size_t slice =
+        options_.max_state_bytes > state_snap_header_bytes()
+            ? options_.max_state_bytes - state_snap_header_bytes()
+            : 1;
+    for (std::uint32_t b = 0; b < options_.state_burst_chunks &&
+                              s.sent_snap_bytes < snap_cache_.size();
+         ++b) {
+      StateChunkMsg c;
+      c.k = state_k;
+      c.snapshot = true;
+      c.offset = s.sent_snap_bytes;
+      c.snap_total = s.snap_total;
+      c.snap_size = snap_cache_.size();
+      const auto begin = snap_cache_.begin() +
+                         static_cast<std::ptrdiff_t>(s.sent_snap_bytes);
+      const std::size_t len = std::min<std::size_t>(
+          slice, snap_cache_.size() - s.sent_snap_bytes);
+      c.data.assign(begin, begin + static_cast<std::ptrdiff_t>(len));
+      const Wire wire = make_wire(MsgType::kAbStateChunk, c);
+      metrics_.state_chunks_sent += 1;
+      metrics_.state_chunk_bytes_sent += wire.payload.size();
+      trace(obs::EventKind::kStateTransfer, state_k, MsgId{},
+            wire.payload.size(), "send_snap");
+      env_.send(to, wire);
+      s.sent_snap_bytes += len;
+    }
+    s.resend_at = now + options_.state_retransmit_interval;
+    return;
+  }
+
+  // Tail phase: stream the explicit suffix from the receiver's confirmed
+  // position (from the checkpoint boundary when trimming is off — the
+  // receiver's clock filters duplicates). Only the final chunk carries the
+  // round jump, so a lost tail leaves the receiver visibly lagging and the
+  // session resumes from its next ack.
+  std::uint64_t floor = base_count;
+  if (options_.trimmed_state_transfer) floor = std::max(floor, s.acked_total);
+  if (s.sent_total < floor) s.sent_total = floor;
+  if (s.acked_total < s.sent_total) {
+    if (now < s.resend_at) return;  // burst in flight; wait for acks
+    s.sent_total = std::max(floor, s.acked_total);  // go-back to the last ack
+    metrics_.state_resumes += 1;
+  }
+  const std::vector<AppMsg>& suffix = agreed_.suffix();
+  const std::size_t header = state_chunk_header_bytes();
+  const std::size_t budget = std::max(options_.max_state_bytes, header + 1);
+  for (std::uint32_t b = 0; b < options_.state_burst_chunks; ++b) {
+    StateChunkMsg c;
+    c.k = state_k;
+    c.offset = s.sent_total;
+    std::size_t bytes = header;
+    std::uint64_t pos = s.sent_total;
+    while (pos < agreed_.total()) {
+      const AppMsg& m = suffix[static_cast<std::size_t>(pos - base_count)];
+      const std::size_t entry = delta_entry_bytes(m);
+      // A single message above the budget ships alone: its batch already
+      // crossed the transport inside one consensus decision, so one frame
+      // demonstrably carries it.
+      if (bytes + entry > budget && !c.msgs.empty()) break;
+      c.msgs.push_back(m);
+      bytes += entry;
+      ++pos;
+      if (bytes >= budget) break;
+    }
+    c.final_chunk = pos >= agreed_.total();
+    const Wire wire = make_wire(MsgType::kAbStateChunk, c);
+    metrics_.state_chunks_sent += 1;
+    metrics_.state_chunk_bytes_sent += wire.payload.size();
+    trace(obs::EventKind::kStateTransfer, state_k, MsgId{},
+          wire.payload.size(), "send_chunk");
+    env_.send(to, wire);
+    s.sent_total = pos;
+    if (c.final_chunk) break;
+  }
+  s.resend_at = now + options_.state_retransmit_interval;
+}
+
+void AtomicBroadcast::gc_state_sessions() {
+  if (state_sessions_.empty()) return;
+  const TimePoint now = env_.now();
+  for (auto it = state_sessions_.begin(); it != state_sessions_.end();) {
+    if (now - it->second.last_heard > options_.state_session_timeout) {
+      it = state_sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool AtomicBroadcast::compaction_deferred() const {
+  // While any live session still streams, compacting would clear the suffix
+  // it reads from (tail phase) or retire the snapshot version in flight
+  // (snapshot phase) and restart the transfer — a livelock when checkpoints
+  // outpace one transfer. Sessions are GC'd after state_session_timeout, so
+  // a dead receiver defers compaction only boundedly.
+  for (const auto& [peer, s] : state_sessions_) {
+    (void)peer;
+    if (s.acked_total < agreed_.total()) return true;
+  }
+  return false;
+}
+
+// ---- §5.3 chunked catch-up sessions, receiver side ------------------------
+
+void AtomicBroadcast::handle_snapshot_chunk(ProcessId from,
+                                            const StateChunkMsg& s) {
+  // A snapshot we already cover adds nothing; ack our position so the
+  // sender's session advances to the tail phase.
+  if (s.snap_total == 0 || agreed_.total() >= s.snap_total) {
+    send_state_ack(from);
+    return;
+  }
+  if (s.snap_total > snap_stage_total_) {
+    // Prefer the newer snapshot (restart staging); never restart for an
+    // older version, or two concurrent senders could ping-pong the staging
+    // forever.
+    snap_stage_total_ = s.snap_total;
+    snap_stage_size_ = s.snap_size;
+    snap_stage_.clear();
+  }
+  if (s.snap_total == snap_stage_total_ && s.offset == snap_stage_.size() &&
+      !s.data.empty()) {
+    // Contiguous extension; anything else (loss, reorder, duplicate) is
+    // ignored and the ack below tells the sender where to resume.
+    snap_stage_.insert(snap_stage_.end(), s.data.begin(), s.data.end());
+    metrics_.state_chunks_applied += 1;
+    if (snap_stage_size_ != 0 && snap_stage_.size() >= snap_stage_size_) {
+      install_staged_snapshot(s.k);
+    }
+  }
+  send_state_ack(from);
+}
+
+void AtomicBroadcast::install_staged_snapshot(std::uint64_t state_k) {
+  AppCheckpoint ckpt;
+  bool ok = false;
+  try {
+    BufReader r(snap_stage_);
+    ckpt = AppCheckpoint::decode(r);
+    r.expect_done();
+    ok = ckpt.count == snap_stage_total_;
+  } catch (const CodecError&) {
+  }
+  snap_stage_.clear();
+  snap_stage_size_ = 0;
+  if (!ok) {
+    // Torn stage (interleaved versions): drop it. Our next ack advertises
+    // zero staged bytes and the sender's go-back machinery re-streams.
+    metrics_.corrupt_records += 1;
+    snap_stage_total_ = 0;
+    return;
+  }
+  if (agreed_.total() >= ckpt.count) return;  // raced past it meanwhile
+  // Skip the Consensus instances the checkpoint covers: replace our prefix
+  // wholesale (total order guarantees ours is a prefix of the checkpoint's)
+  // and rebuild the application from it. The round is NOT adopted here —
+  // only the tail phase's final chunk advances k, so a crash between the
+  // two phases resumes cleanly from the re-advertised total.
+  trace(obs::EventKind::kStateTransfer, state_k, MsgId{}, ckpt.count,
+        "adopt_snap");
+  sink_.install_checkpoint(ckpt.state);
+  agreed_.reset_to_base(std::move(ckpt));
+  metrics_.state_snapshots_applied += 1;
+  gossip_dirty_ = true;
+  prune_unordered();
+  if (options_.checkpointing) {
+    // Make the jump durable; otherwise a crash would replay from the old
+    // checkpoint into truncated territory.
+    take_checkpoint();
+  }
+  drain();
+}
+
+void AtomicBroadcast::handle_tail_chunk(ProcessId from,
+                                        const StateChunkMsg& s) {
+  // A chunk beyond our frontier cannot extend it (its predecessor was lost
+  // or reordered); the ack below advertises our true total and the sender's
+  // window rewinds. A chunk at or below it overlaps what we hold — the
+  // clock filters the overlap and append_sequence delivers only the rest.
+  if (s.offset > agreed_.total()) {
+    send_state_ack(from);
+    return;
+  }
+  if (!s.msgs.empty() || s.final_chunk) {
+    trace(obs::EventKind::kStateTransfer, s.k, MsgId{},
+          s.offset + s.msgs.size(), "adopt_chunk");
+  }
+  auto delivered = agreed_.append_sequence(s.msgs);
   std::uint64_t pos = agreed_.total() - delivered.size();
   for (const auto& m : delivered) {
     erase_unordered_record(m.id);
@@ -707,38 +950,32 @@ void AtomicBroadcast::adopt_trimmed_state(std::uint64_t state_k,
     trace(obs::EventKind::kDeliver, k_, m.id, pos++);
     sink_.deliver(m);
   }
-  k_ = state_k + 1;
-  gossip_dirty_ = true;
-  metrics_.state_applied += 1;
-  prune_unordered();
-  if (options_.checkpointing) take_checkpoint();
-  drain();
+  if (!delivered.empty()) gossip_dirty_ = true;
+  metrics_.state_chunks_applied += 1;
+  if (s.final_chunk && s.k + 1 > k_) {
+    // The stream is complete: adopt the sender's round (Fig. 3 line f).
+    k_ = s.k + 1;
+    gossip_dirty_ = true;
+    metrics_.state_applied += 1;
+    prune_unordered();
+    if (options_.checkpointing) take_checkpoint();
+    drain();
+  }
+  send_state_ack(from);
 }
 
-void AtomicBroadcast::adopt_state(std::uint64_t state_k, AgreedLog incoming) {
-  // Skip the Consensus instances we missed: replace our queue wholesale
-  // (total order guarantees ours is a prefix of the incoming one), rebuild
-  // the application, and resume the sequencer from the sender's round.
-  trace(obs::EventKind::kStateTransfer, state_k, MsgId{}, incoming.total(),
-        "adopt");
-  sink_.install_checkpoint(incoming.base() ? incoming.base()->state
-                                           : Bytes{});
-  std::uint64_t pos = incoming.total() - incoming.suffix().size();
-  for (const auto& m : incoming.suffix()) {
-    trace(obs::EventKind::kDeliver, k_, m.id, pos++);
-    sink_.deliver(m);
-  }
-  agreed_ = std::move(incoming);
-  k_ = state_k + 1;
-  gossip_dirty_ = true;
-  metrics_.state_applied += 1;
-  prune_unordered();
-  if (options_.checkpointing) {
-    // Make the jump durable; otherwise a crash would replay from the old
-    // checkpoint into truncated territory.
-    take_checkpoint();
-  }
-  drain();
+void AtomicBroadcast::send_state_ack(ProcessId to) {
+  // An immediate, unicast digest: (total, snapshot staging) is the whole
+  // ack. Sent in both gossip modes — the catch-up sender understands digest
+  // datagrams even when periodic gossip is full-set.
+  const Wire wire =
+      make_digest_wire(k_, agreed_.total(), /*want_reply=*/false,
+                       compute_cover(), {}, snap_stage_total_,
+                       snap_stage_.size());
+  metrics_.gossip_bytes_sent += wire.payload.size();
+  env_.send(to, wire);
+  metrics_.digest_sent += 1;
+  trace(obs::EventKind::kGossipSend, k_, MsgId{}, 0, "state_ack");
 }
 
 void AtomicBroadcast::checkpoint_tick() {
@@ -750,8 +987,13 @@ void AtomicBroadcast::checkpoint_tick() {
 void AtomicBroadcast::take_checkpoint() {
   // §5.2 (Fig. 4 line b): fold the delivered suffix into an application
   // checkpoint before logging, bounding both the record and the log.
-  if (options_.app_checkpointing) {
+  // Deferred while a catch-up session is mid-stream (see
+  // compaction_deferred) — the (k, Agreed) record below is still written,
+  // just with the suffix explicit.
+  if (options_.app_checkpointing && !compaction_deferred()) {
     agreed_.compact(sink_.take_checkpoint());
+    snap_cache_.clear();  // base version changed; re-encoded on demand
+    snap_cache_total_ = 0;
   }
   BufWriter w;
   w.u64(k_);
@@ -771,9 +1013,13 @@ void AtomicBroadcast::take_checkpoint() {
 void AtomicBroadcast::on_peer_truncated(ProcessId from, InstanceId k) {
   (void)k;
   // The peer asked about an instance we truncated; only a state transfer
-  // can catch it up (Options::validate() guarantees it is enabled). Its
-  // position is unknown on this path: send the full state.
-  if (k_ >= 1) send_state(from, std::numeric_limits<std::uint64_t>::max());
+  // can catch it up (Options::validate() guarantees it is enabled). Open
+  // (or pump) its catch-up session from its last advertised position — the
+  // same bounded chunk path as gossip-triggered transfers, so this trigger
+  // can never regress to one oversized frame.
+  if (k_ < 1 || from >= peers_.size()) return;
+  const PeerView& view = peers_[from];
+  state_pump_for(from, view.heard ? view.total : 0);
 }
 
 }  // namespace abcast::core

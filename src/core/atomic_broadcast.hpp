@@ -40,6 +40,8 @@
 
 namespace abcast::core {
 
+struct StateChunkMsg;  // core/ab_wire.hpp
+
 struct AbMetrics {
   RelaxedU64 broadcasts;
   RelaxedU64 delivered;
@@ -61,9 +63,19 @@ struct AbMetrics {
   RelaxedU64 delta_rejected;
   RelaxedU64 gossip_suppressed;  // idle ticks skipped (satellite 1)
   RelaxedU64 proposal_cache_hits;  // proposals reusing cached encoding
+  /// Catch-up sessions opened toward lagging peers (§5.3). One session
+  /// streams the whole missing state in bounded chunks; the chunk counters
+  /// below account the individual datagrams.
   RelaxedU64 state_sent;
   RelaxedU64 state_sent_trimmed;  // of which tail-only (§5.3 opt.)
-  RelaxedU64 state_applied;       // state transfers adopted
+  RelaxedU64 state_applied;       // catch-up sessions adopted (k jumped)
+  RelaxedU64 state_chunks_sent;   // chunk datagrams sent (snapshot + tail)
+  RelaxedU64 state_chunk_bytes_sent;  // payload bytes across those chunks
+  RelaxedU64 state_chunks_applied;    // chunks accepted and applied/staged
+  RelaxedU64 state_snapshots_applied; // peer app checkpoints installed
+  /// Go-back resumptions: the sender rewound its chunk cursor to the
+  /// receiver's last ack after chunk loss, reorder, or a receiver crash.
+  RelaxedU64 state_resumes;
   RelaxedU64 checkpoints;
   /// Stored records found torn/corrupt during recovery (CRC or decode
   /// failure) and discarded; the protocol fell back to replay/state
@@ -119,7 +131,7 @@ class AtomicBroadcast {
   // ---- wiring ------------------------------------------------------------
   bool handles(MsgType type) const {
     return type == MsgType::kAbGossip || type == MsgType::kAbGossipDigest ||
-           type == MsgType::kAbState;
+           type == MsgType::kAbStateChunk;
   }
   void on_message(ProcessId from, const Wire& msg);
   /// Route of the Consensus decided callback.
@@ -149,6 +161,24 @@ class AtomicBroadcast {
     std::vector<std::uint64_t> confirmed;
     TimePoint next_delta_ok = 0;       // delta-reply rate limiter
     TimePoint next_pull_ok = 0;        // reorder-repair pull rate limiter
+  };
+
+  /// Sender-side state of one §5.3 catch-up session: a stop-and-wait burst
+  /// window over chunk datagrams. `acked_*` is what the receiver confirmed
+  /// (via the digest acks), `sent_*` where our cursor stands; a burst goes
+  /// out only when the window drained or the go-back timer fired, so chunk
+  /// loss never grows the in-flight set. All volatile — a sender crash
+  /// simply loses the session and the receiver's next gossip recreates it
+  /// from the receiver's re-advertised total.
+  struct CatchUpSession {
+    std::uint64_t acked_total = 0;      // receiver's confirmed prefix length
+    std::uint64_t sent_total = 0;       // tail cursor (absolute position)
+    std::uint64_t acked_snap_bytes = 0;
+    std::uint64_t sent_snap_bytes = 0;
+    std::uint64_t snap_total = 0;       // snapshot version being streamed
+    bool trimmed = false;               // classified (and counted) at creation
+    TimePoint resend_at = 0;            // go-back deadline for the last burst
+    TimePoint last_heard = 0;           // GC: drop silent sessions
   };
 
   void send_gossip_now();
@@ -182,10 +212,29 @@ class AtomicBroadcast {
   /// Applies every locally-known decision starting at k_, then proposes.
   void drain();
   void apply_batch(const Bytes& value);
-  void send_state(ProcessId to, std::uint64_t recipient_total);
-  void adopt_state(std::uint64_t state_k, AgreedLog incoming);
-  void adopt_trimmed_state(std::uint64_t state_k, std::uint64_t base_total,
-                           const std::vector<AppMsg>& tail);
+  // ---- §5.3 chunked catch-up sessions (sender side) ----------------------
+  /// Creates (or resumes) the catch-up session for `to`, whose gossip just
+  /// advertised `recipient_total` delivered messages, and pumps it.
+  void state_pump_for(ProcessId to, std::uint64_t recipient_total);
+  /// Sends the next burst of chunks if the stop-and-wait window allows.
+  void state_pump(ProcessId to, CatchUpSession& s);
+  /// Folds a digest's ack fields into the peer's session, detecting
+  /// receiver restarts (total regression) as a session reset.
+  void note_state_ack(ProcessId from, std::uint64_t peer_total,
+                      std::uint64_t ack_snap_total,
+                      std::uint64_t ack_snap_bytes);
+  void gc_state_sessions();
+  /// True while some live session still needs the explicit suffix (or the
+  /// current snapshot) — take_checkpoint() defers compaction then, so an
+  /// in-flight transfer is not invalidated mid-stream.
+  bool compaction_deferred() const;
+  // ---- receiver side -----------------------------------------------------
+  void handle_snapshot_chunk(ProcessId from, const StateChunkMsg& s);
+  void handle_tail_chunk(ProcessId from, const StateChunkMsg& s);
+  void install_staged_snapshot(std::uint64_t state_k);
+  /// Immediate per-chunk ack: a digest datagram to the sender carrying our
+  /// (total, snapshot staging) position, in both gossip modes.
+  void send_state_ack(ProcessId to);
   void erase_unordered_record(const MsgId& id);
   void log_unordered_set();
   void prune_unordered();
@@ -211,7 +260,21 @@ class AtomicBroadcast {
   std::map<MsgId, AppMsg> unordered_;
   std::uint64_t incarnation_ = 0;
   std::uint64_t counter_ = 0;    // per-incarnation broadcast counter
-  std::map<ProcessId, TimePoint> last_state_sent_;
+  /// Live catch-up sessions we are serving, one per lagging peer. Volatile:
+  /// a crash drops them and the receivers' gossip recreates them.
+  std::map<ProcessId, CatchUpSession> state_sessions_;
+  /// Encoded AppCheckpoint the snapshot phase streams from, cached so a
+  /// multi-chunk stream encodes the base once. Valid while
+  /// `snap_cache_total_ == agreed_.base_count()` and non-empty.
+  Bytes snap_cache_;
+  std::uint64_t snap_cache_total_ = 0;
+  /// Receiver-side staging of an incoming snapshot: contiguous bytes of
+  /// the `snap_stage_total_` version, installed once `snap_stage_size_`
+  /// bytes landed. Volatile — a receiver crash restarts the snapshot, which
+  /// is exactly what the re-advertised (smaller) total tells the sender.
+  Bytes snap_stage_;
+  std::uint64_t snap_stage_total_ = 0;
+  std::uint64_t snap_stage_size_ = 0;
   std::vector<PeerView> peers_;  // indexed by ProcessId; sized in start()
   /// Volatile staging for delta messages that arrived ahead of their
   /// per-sender predecessor: merged into unordered_ as soon as the chain

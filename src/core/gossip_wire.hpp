@@ -29,6 +29,13 @@ struct DigestMsg {
   /// delta". Replies set it only when the replier itself lacks coverage, so
   /// an exchange terminates as soon as both sides are even.
   bool want_reply = false;
+  /// Catch-up session acks (§5.3 chunked state transfer), folded into the
+  /// digest so chunk-loss recovery needs no extra message type: the version
+  /// (prefix count) of the checkpoint snapshot this process is staging and
+  /// how many contiguous bytes of it have landed. Zero when no snapshot is
+  /// in flight; the tail-phase ack is `total` itself.
+  std::uint64_t ack_snap_total = 0;
+  std::uint64_t ack_snap_bytes = 0;
   std::vector<std::uint64_t> cover;  // per-sender coverage, size = group
   std::vector<AppMsg> msgs;          // delta payload (empty on pure digests)
 
@@ -38,6 +45,8 @@ struct DigestMsg {
     m.k = r.u64();
     m.total = r.u64();
     m.want_reply = r.boolean();
+    m.ack_snap_total = r.u64();
+    m.ack_snap_bytes = r.u64();
     m.cover = r.vec<std::uint64_t>([](BufReader& rr) { return rr.u64(); });
     m.msgs = r.vec<AppMsg>([](BufReader& rr) { return AppMsg::decode(rr); });
     return m;
@@ -50,10 +59,14 @@ struct DigestMsg {
 inline void encode_digest_payload(BufWriter& w, std::uint64_t k,
                                   std::uint64_t total, bool want_reply,
                                   const std::vector<std::uint64_t>& cover,
-                                  const std::vector<const AppMsg*>& msgs) {
+                                  const std::vector<const AppMsg*>& msgs,
+                                  std::uint64_t ack_snap_total = 0,
+                                  std::uint64_t ack_snap_bytes = 0) {
   w.u64(k);
   w.u64(total);
   w.boolean(want_reply);
+  w.u64(ack_snap_total);
+  w.u64(ack_snap_bytes);
   w.vec(cover, [](BufWriter& ww, std::uint64_t c) { ww.u64(c); });
   w.u32(checked_u32(msgs.size()));
   for (const auto* m : msgs) m->encode(w);
@@ -63,14 +76,15 @@ inline void DigestMsg::encode(BufWriter& w) const {
   std::vector<const AppMsg*> refs;
   refs.reserve(msgs.size());
   for (const auto& m : msgs) refs.push_back(&m);
-  encode_digest_payload(w, k, total, want_reply, cover, refs);
+  encode_digest_payload(w, k, total, want_reply, cover, refs, ack_snap_total,
+                        ack_snap_bytes);
 }
 
 /// Encoded size of everything in a digest datagram except the delta
-/// messages themselves (k, total, want_reply, cover, msgs count). Used to
-/// budget delta chunks against Options::max_delta_bytes.
+/// messages themselves (k, total, want_reply, snapshot acks, cover, msgs
+/// count). Used to budget delta chunks against Options::max_delta_bytes.
 inline std::size_t digest_header_bytes(std::size_t group_size) {
-  return 8 + 8 + 1 + (4 + 8 * group_size) + 4;
+  return 8 + 8 + 1 + 16 + (4 + 8 * group_size) + 4;
 }
 
 /// Encoded size of one delta entry: msg_id (12) + payload length prefix (4)
@@ -82,9 +96,12 @@ inline std::size_t delta_entry_bytes(const AppMsg& m) {
 inline Wire make_digest_wire(std::uint64_t k, std::uint64_t total,
                              bool want_reply,
                              const std::vector<std::uint64_t>& cover,
-                             const std::vector<const AppMsg*>& msgs) {
+                             const std::vector<const AppMsg*>& msgs,
+                             std::uint64_t ack_snap_total = 0,
+                             std::uint64_t ack_snap_bytes = 0) {
   BufWriter w;
-  encode_digest_payload(w, k, total, want_reply, cover, msgs);
+  encode_digest_payload(w, k, total, want_reply, cover, msgs, ack_snap_total,
+                        ack_snap_bytes);
   return Wire{MsgType::kAbGossipDigest, std::move(w).take()};
 }
 

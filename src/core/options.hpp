@@ -69,10 +69,27 @@ struct Options {
   std::uint64_t delta = 4;
   /// §5.3's closing optimization: "the state message can be made to carry
   /// only those messages that are not known by the recipient". Gossip
-  /// advertises the local delivered count; state messages then ship only
-  /// the missing tail of the sequence. Falls back to a full transfer when
-  /// the sender's own prefix is folded into an application checkpoint.
+  /// advertises the local delivered count; a catch-up session then streams
+  /// only the missing tail of the sequence. A session whose recipient
+  /// predates the sender's application checkpoint streams the checkpoint
+  /// itself first (snapshot phase) regardless of this flag.
   bool trimmed_state_transfer = false;
+  /// Upper bound on one catch-up chunk's payload (same framing discipline
+  /// as max_delta_bytes: the rt/udp host silently drops frames above
+  /// 64 KiB, so a state transfer must never produce one). Must leave room
+  /// for the chunk header plus at least one message / one snapshot byte.
+  std::size_t max_state_bytes = 56 * 1024;
+  /// Go-back timer of the catch-up session's stop-and-wait window: when the
+  /// last burst is not fully acked within this interval, the sender rewinds
+  /// its cursor to the receiver's last ack and resends.
+  Duration state_retransmit_interval = millis(30);
+  /// Chunks a catch-up session sends per burst before waiting for the
+  /// receiver's ack (bounds in-flight state bytes per lagging peer).
+  std::uint32_t state_burst_chunks = 4;
+  /// A catch-up session that has heard nothing from its receiver for this
+  /// long is dropped (the receiver's next gossip recreates it). Also bounds
+  /// how long a stuck session may defer checkpoint compaction.
+  Duration state_session_timeout = millis(600);
 
   // ---- §5.4: message batches / early return -----------------------------
   /// Log the Unordered set on every A-broadcast so the call durably
@@ -120,8 +137,16 @@ struct Options {
     ABCAST_CHECK_MSG(max_delta_bytes >= 256,
                      "max_delta_bytes must fit the digest header plus at "
                      "least one small message");
+    ABCAST_CHECK_MSG(max_state_bytes >= 256,
+                     "max_state_bytes must fit the chunk header plus at "
+                     "least one small message");
     if (checkpointing) ABCAST_CHECK(checkpoint_period > 0);
-    if (state_transfer) ABCAST_CHECK(delta >= 1);
+    if (state_transfer) {
+      ABCAST_CHECK(delta >= 1);
+      ABCAST_CHECK(state_retransmit_interval > 0);
+      ABCAST_CHECK(state_burst_chunks >= 1);
+      ABCAST_CHECK(state_session_timeout > 0);
+    }
   }
 };
 

@@ -65,8 +65,11 @@ enum class MsgType : std::uint16_t {
 
   // Atomic broadcast (src/core)
   kAbGossip = 48,       // full-set gossip (Options::digest_gossip == false)
-  kAbState = 49,
+  // 49 (kAbState) retired: the one-shot whole-AgreedLog state datagram could
+  // exceed the transport frame limit; replaced by the chunked catch-up
+  // session below. Do not reuse the tag.
   kAbGossipDigest = 50, // digest / delta anti-entropy gossip
+  kAbStateChunk = 51,   // one bounded chunk of a §5.3 catch-up session
 
   // Crash-stop Chandra-Toueg-style baseline (src/core)
   kCsRelay = 64,

@@ -38,9 +38,14 @@ enum class EventKind : std::uint8_t {
   kDeliver,        // A-deliver(m)                    msg=id, k=round, arg=pos
   kCheckpoint,     // (k, Agreed) checkpoint          k, arg=total,
                    //                                 detail=take|load
-  kStateTransfer,  // state message                   k, arg=total/base,
-                   //                                 detail=send|send_trim|
-                   //                                        adopt|adopt_trim
+  kStateTransfer,  // catch-up session chunk.
+                   // Sends: detail=send_chunk|send_snap, arg=payload bytes
+                   // (the offline checker bounds these, see CheckOptions::
+                   // max_state_chunk_bytes). Adoptions: detail=adopt_chunk
+                   // (tail applied, arg=new total) | adopt_snap (peer app
+                   // checkpoint installed, arg=its count). Legacy one-shot
+                   // details (send|send_trim|adopt|adopt_trim) remain
+                   // recognized by the checker for old traces.
   kCrash,          // process crashed (host event)
   kRecoverBegin,   // recovery starting (host event)
   kRecoverEnd,     // recovery finished               arg=replayed rounds

@@ -24,7 +24,13 @@ namespace {
 
 bool is_adopt(const TraceEvent& e) {
   return e.kind == EventKind::kStateTransfer &&
-         (e.detail == "adopt" || e.detail == "adopt_trim");
+         (e.detail == "adopt" || e.detail == "adopt_trim" ||
+          e.detail == "adopt_chunk" || e.detail == "adopt_snap");
+}
+
+bool is_chunk_send(const TraceEvent& e) {
+  return e.kind == EventKind::kStateTransfer &&
+         (e.detail == "send_chunk" || e.detail == "send_snap");
 }
 
 }  // namespace
@@ -198,11 +204,19 @@ CheckReport check_trace(const std::vector<TraceEvent>& events,
           if (is_adopt(e)) {
             allow_jump = true;
             tally.reached = std::max(tally.reached, e.arg);
-            // A full adoption wholesale-replaces the Agreed queue and
-            // re-delivers the suffix on top of a fresh application
-            // checkpoint — a reset, so it opens a new delivery segment
-            // (trimmed adoptions only extend the sequence).
-            if (e.detail == "adopt") ++segment;
+            // Installing a checkpoint wholesale-replaces the Agreed queue
+            // on top of a fresh application state — a reset, so it opens a
+            // new delivery segment ("adopt" is the legacy one-shot install,
+            // "adopt_snap" the chunked snapshot install; trimmed/chunked
+            // tail adoptions only extend the sequence).
+            if (e.detail == "adopt" || e.detail == "adopt_snap") ++segment;
+          }
+          if (is_chunk_send(e) && options.max_state_chunk_bytes != 0 &&
+              e.arg > options.max_state_chunk_bytes) {
+            violate("StateBound", e,
+                    "state chunk of " + std::to_string(e.arg) +
+                        " payload bytes exceeds the configured bound of " +
+                        std::to_string(options.max_state_chunk_bytes));
           }
           break;
 

@@ -40,6 +40,13 @@ struct CheckOptions {
   /// The trace ends in a quiesced state (all nodes up, nothing in flight):
   /// enables the strict Termination and Validity checks.
   bool require_quiesced = false;
+  /// When non-zero: every state-transfer chunk send (kStateTransfer with
+  /// detail send_chunk/send_snap, whose arg is the wire payload size) must
+  /// stay at or below this many bytes, or a "StateBound" violation is
+  /// reported. Set it to the run's Options::max_state_bytes to prove no
+  /// catch-up datagram could have been dropped by the transport's frame
+  /// limit.
+  std::size_t max_state_chunk_bytes = 0;
 };
 
 struct Violation {

@@ -194,6 +194,9 @@ TEST(AbStateTransfer, RescuesProcessBehindTruncationHorizon) {
 
   c.sim().recover(2);
   ASSERT_TRUE(c.await_delivery(ids, {2}, seconds(120)));
+  // Delivery can complete at the snapshot install; run on so the session's
+  // final tail chunk lands and the round jump (state_applied) registers.
+  c.sim().run_for(millis(300));
   EXPECT_GE(c.stack(2)->ab().metrics().state_applied, 1u);
   c.oracle().check();
 }
@@ -352,8 +355,8 @@ TEST(AbStateTransfer, TrimmedTransferShipsOnlyTheMissingTail) {
       applied += c.stack(p)->ab().metrics().state_applied;
     }
     const auto state_bytes =
-        c.sim().net_stats().bytes_by_type.count(MsgType::kAbState)
-            ? c.sim().net_stats().bytes_by_type.at(MsgType::kAbState)
+        c.sim().net_stats().bytes_by_type.count(MsgType::kAbStateChunk)
+            ? c.sim().net_stats().bytes_by_type.at(MsgType::kAbStateChunk)
             : 0;
     return std::tuple{trimmed_sent, applied, state_bytes};
   };
@@ -388,6 +391,9 @@ TEST(AbStateTransfer, TrimmedFallsBackToFullAfterAppCheckpoint) {
   c.sim().run_for(millis(400));  // checkpoints fold the prefix away
   c.sim().recover(2);
   ASSERT_TRUE(c.await_delivery(ids, {2}, seconds(120)));
+  // The snapshot install completes delivery; the round jump that counts as
+  // state_applied rides the session's final tail chunk one round-trip later.
+  c.sim().run_for(millis(300));
   c.oracle().check();
   std::uint64_t trimmed_sent = 0;
   for (ProcessId p = 0; p < 3; ++p) {

@@ -141,6 +141,39 @@ TEST(AgreedLog, CompactFoldsSuffixIntoCheckpoint) {
   EXPECT_EQ(log.suffix().size(), 1u);
 }
 
+TEST(AgreedLog, ResetToBaseAdoptsPeerCheckpointWholesale) {
+  // A chunked state transfer installs a peer's application checkpoint by
+  // wholesale-replacing the local prefix (total order guarantees ours is a
+  // prefix of the peer's), dropping any explicit suffix.
+  AgreedLog log(2);
+  log.append({msg(0, 1), msg(1, 1)});
+
+  AppCheckpoint peer;
+  peer.state = Bytes{9};
+  peer.vc = VectorClock(2);
+  peer.vc.observe(MsgId{0, 1});
+  peer.vc.observe(MsgId{0, 2});
+  peer.vc.observe(MsgId{1, 1});
+  peer.vc.observe(MsgId{1, 2});
+  peer.count = 4;
+  log.reset_to_base(peer);
+
+  EXPECT_EQ(log.total(), 4u);
+  EXPECT_EQ(log.base_count(), 4u);
+  EXPECT_TRUE(log.suffix().empty());
+  ASSERT_TRUE(log.base().has_value());
+  EXPECT_EQ(log.base()->state, Bytes{9});
+  EXPECT_TRUE(log.contains(MsgId{0, 2}));
+  EXPECT_TRUE(log.contains(MsgId{1, 2}));
+  EXPECT_FALSE(log.contains(MsgId{0, 3}));
+
+  // The adopted clock filters duplicates and admits only the true tail.
+  auto delivered = log.append({msg(0, 2), msg(0, 3)});
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].id, (MsgId{0, 3}));
+  EXPECT_EQ(log.total(), 5u);
+}
+
 TEST(AgreedLog, RepeatedCompaction) {
   AgreedLog log(1);
   log.append({msg(0, 1)});

@@ -377,7 +377,7 @@ TEST(SimNetwork, PerTypeAccountingAttributesTraffic) {
   const auto& net = c.sim.net_stats();
   EXPECT_EQ(net.sent_of(MsgType::kFdHeartbeat), 1u);
   EXPECT_EQ(net.sent_of(MsgType::kAbGossip), 2u);
-  EXPECT_EQ(net.sent_of(MsgType::kAbState), 0u);
+  EXPECT_EQ(net.sent_of(MsgType::kAbStateChunk), 0u);
   EXPECT_EQ(net.bytes_by_type.at(MsgType::kFdHeartbeat), 3 + 2u);
 }
 

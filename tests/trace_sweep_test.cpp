@@ -1,8 +1,10 @@
-// The ISSUE's acceptance sweep for the observability subsystem: 100
-// randomized crash/recovery scenarios (both consensus engines, both protocol
-// variants), each recorded by per-host TraceRecorders, and every merged
-// trace must satisfy the paper's properties under the offline checker —
-// while mutated traces (a dropped deliver, a swapped order) must be flagged.
+// Acceptance sweeps for the observability subsystem: 100 randomized
+// crash/recovery scenarios (both consensus engines, both protocol
+// variants) plus 100 randomized §5.3 chunked-state-transfer scenarios
+// (checkpoint + truncation churn, crashes on either side of the stream),
+// each recorded by per-host TraceRecorders, and every merged trace must
+// satisfy the paper's properties under the offline checker — while mutated
+// traces (a dropped deliver, a swapped order) must be flagged.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -107,6 +109,98 @@ void run_range(std::uint64_t first_seed, std::uint64_t count) {
   }
 }
 
+/// One randomized §5.3 corridor scenario: the full alternative stack
+/// (checkpoints, app checkpoints, truncation, chunked state transfer) with
+/// a deliberately small chunk budget, a process that rejoins from behind
+/// the truncation horizon, and seed-dependent churn that crashes the
+/// transfer's receiver or one of its senders mid-stream. The merged trace
+/// must satisfy the paper's properties AND the per-datagram chunk bound
+/// under the strict checker.
+void run_state_seed(std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.sim.n = kN;
+  cfg.sim.seed = seed * 31 + 1000;
+  cfg.sim.trace_capacity = 1 << 16;  // large enough that nothing drops
+  cfg.stack.engine = (seed % 2) ? ConsensusKind::kCoord : ConsensusKind::kPaxos;
+  cfg.stack.ab = Options::alternative();
+  cfg.stack.ab.checkpoint_period = millis(40);
+  cfg.stack.ab.delta = 2;
+  cfg.stack.ab.max_state_bytes = 512;  // several chunks even for tiny state
+  cfg.stack.ab.trimmed_state_transfer = (seed / 2) % 2;
+  if ((seed / 4) % 2) {
+    cfg.stack.ab.digest_gossip = true;
+    cfg.stack.ab.suppress_idle_gossip = true;
+  }
+  Cluster c(cfg);
+  c.start_all();
+  Rng rng(seed * 104729 + 7);
+
+  std::vector<MsgId> ids;
+  ids.push_back(c.broadcast(0, Bytes(16, 'w')));
+  EXPECT_TRUE(c.await_delivery(ids, {}, seconds(60))) << "seed " << seed;
+
+  const ProcessId victim = static_cast<ProcessId>(seed % kN);
+  std::vector<ProcessId> survivors;
+  for (ProcessId p = 0; p < kN; ++p) {
+    if (p != victim) survivors.push_back(p);
+  }
+  c.sim().crash(victim);
+  for (int b = 0; b < 10; ++b) {
+    const ProcessId sender = survivors[static_cast<std::size_t>(b) % 2];
+    ids.push_back(c.broadcast(sender, Bytes(96, static_cast<std::uint8_t>(b))));
+    // Await each broadcast so every one closes at least one round: the
+    // victim must fall behind by well over Δ rounds, not just Δ messages.
+    EXPECT_TRUE(c.await_delivery({ids.back()}, survivors, seconds(60)))
+        << "seed " << seed;
+  }
+  c.sim().run_for(millis(200));  // checkpoints fold + truncate the prefix
+
+  c.sim().recover(victim);
+  c.sim().run_for(millis(1 + static_cast<std::int64_t>(rng.uniform(0, 40))));
+  if (seed % 3 == 0) {
+    // The catch-up receiver dies mid-stream and rejoins: the session must
+    // resume from its re-advertised (possibly regressed) total.
+    if (c.sim().host(victim).is_up()) c.sim().crash(victim);
+    c.sim().run_for(millis(60));
+    c.sim().recover(victim);
+  } else if (seed % 3 == 1) {
+    // One of the catch-up senders dies mid-stream: the other peer's
+    // session must finish the rescue.
+    const ProcessId sender = static_cast<ProcessId>((victim + 1) % kN);
+    c.sim().crash(sender);
+    c.sim().run_for(millis(60));
+    c.sim().recover(sender);
+  }
+
+  EXPECT_TRUE(c.await_delivery(ids, {}, seconds(120))) << "seed " << seed;
+  EXPECT_TRUE(c.await_quiesced(seconds(120))) << "seed " << seed;
+  EXPECT_EQ(c.trace_dropped(), 0u) << "seed " << seed;
+
+  obs::CheckOptions options;
+  options.require_quiesced = true;
+  options.max_state_chunk_bytes = cfg.stack.ab.max_state_bytes;
+  const auto trace = c.collect_trace();
+  const auto report = obs::check_trace(trace, options);
+  EXPECT_TRUE(report.ok()) << "seed " << seed << ": "
+                           << (report.ok()
+                                   ? std::string()
+                                   : obs::to_string(report.violations[0]));
+  // The corridor must actually have been exercised.
+  const bool chunked = std::any_of(
+      trace.begin(), trace.end(), [](const obs::TraceEvent& e) {
+        return e.kind == obs::EventKind::kStateTransfer &&
+               (e.detail == "send_chunk" || e.detail == "send_snap");
+      });
+  EXPECT_TRUE(chunked) << "seed " << seed << ": no state chunk ever sent";
+}
+
+void run_state_range(std::uint64_t first_seed, std::uint64_t count) {
+  for (std::uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
+    run_state_seed(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
 }  // namespace
 
 // 4 shards x 25 seeds = 100 randomized crash/recovery scenarios, every
@@ -115,6 +209,15 @@ TEST(TraceSweep, Seeds0To24) { run_range(0, 25); }
 TEST(TraceSweep, Seeds25To49) { run_range(25, 25); }
 TEST(TraceSweep, Seeds50To74) { run_range(50, 25); }
 TEST(TraceSweep, Seeds75To99) { run_range(75, 25); }
+
+// 4 shards x 25 seeds = 100 randomized §5.3 corridor scenarios: chunked
+// state transfer under checkpoint/truncation churn with crashes on either
+// side of the stream, audited strictly (including the per-datagram chunk
+// bound) by the offline checker.
+TEST(TraceSweepState, Seeds0To24) { run_state_range(0, 25); }
+TEST(TraceSweepState, Seeds25To49) { run_state_range(25, 25); }
+TEST(TraceSweepState, Seeds50To74) { run_state_range(50, 25); }
+TEST(TraceSweepState, Seeds75To99) { run_state_range(75, 25); }
 
 // Mutating a real trace must flip the verdict: the checker is only trusted
 // because it rejects corrupted histories.

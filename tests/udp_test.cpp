@@ -40,6 +40,14 @@ struct UdpKv {
     });
   }
 
+  bool submit_put(ProcessId via, std::string key, std::string value) {
+    auto& h = *hosts[via];
+    return h.call([&h, &key, &value] {
+      static_cast<RsmNode*>(h.node_unsafe())
+          ->submit(KvCommand::put(key, value));
+    });
+  }
+
   std::int64_t read_n(ProcessId at) {
     std::int64_t v = -1;
     auto& h = *hosts[at];
@@ -110,6 +118,62 @@ TEST(Udp, CrashRecoveryOverRealSockets) {
   c.hosts[2]->start_node(c.factory, /*recovering=*/true);
   // Recovery replays from this host's surviving storage.
   ASSERT_TRUE(c.wait_for([&] { return c.read_n(2) == 6; }, seconds(60)));
+}
+
+// Regression test for the >64 KiB catch-up livelock: a peer that lags past
+// the truncation horizon of a cluster whose Agreed history exceeds the UDP
+// frame limit can only recover via state transfer, and a one-shot state
+// datagram above 64 KiB is silently dropped by the transport — the peer
+// would retry forever. The chunked catch-up session must stream the state
+// in datagrams bounded by Options::max_state_bytes instead.
+TEST(Udp, LargeStateCatchUpAfterTruncation) {
+  core::StackConfig stack;
+  stack.ab = core::Options::alternative();
+  stack.ab.checkpoint_period = millis(100);
+  stack.ab.delta = 2;
+  UdpKv c(3, 5, stack);
+
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(c.submit_add(0, 1));
+  ASSERT_TRUE(c.wait_for(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (c.applied[p]->load() < 3) return false;
+        }
+        return true;
+      },
+      seconds(60)));
+
+  c.hosts[2]->crash_node();
+  // Grow the surviving replicas' state well past one UDP frame: ~100 KiB of
+  // key-value payload, folded into the application checkpoint as the
+  // alternative protocol checkpoints and truncates.
+  const std::string blob(1024, 'v');
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(c.submit_put(static_cast<ProcessId>(i % 2),
+                             "blob-" + std::to_string(i), blob));
+  }
+  ASSERT_TRUE(c.wait_for(
+      [&] {
+        return c.applied[0]->load() >= 103 && c.applied[1]->load() >= 103;
+      },
+      seconds(60)));
+  // Let checkpoints fold the history away and truncate the consensus log
+  // past what the rejoining peer could replay.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+
+  c.hosts[2]->start_node(c.factory, /*recovering=*/true);
+  ASSERT_TRUE(c.wait_for(
+      [&] {
+        auto& h = *c.hosts[2];
+        bool converged = false;
+        h.call([&h, &converged] {
+          const auto& kv = static_cast<const KvStore&>(
+              static_cast<RsmNode*>(h.node_unsafe())->rsm().machine());
+          converged = kv.get_int("n") == 3 && kv.get("blob-99").has_value();
+        });
+        return converged;
+      },
+      seconds(60)));
 }
 
 TEST(Udp, OversizedDatagramsAreCountedNotFatal) {

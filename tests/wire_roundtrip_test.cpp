@@ -24,7 +24,7 @@ using core::AppCheckpoint;
 using core::AppMsg;
 using core::DigestMsg;
 using core::GossipMsg;
-using core::StateMsg;
+using core::StateChunkMsg;
 using core::VectorClock;
 using namespace consensus_wire;
 
@@ -96,21 +96,24 @@ TEST(WireRoundtrip, GossipMsg) {
   expect_roundtrip(GossipMsg{});
 }
 
-// ablint:roundtrip StateMsg
-TEST(WireRoundtrip, StateMsgFullAndTrimmed) {
-  StateMsg full;
-  full.k = 4;
-  full.trimmed = false;
-  full.agreed = AgreedLog(2);
-  full.agreed.append({make_app_msg(0, 1, {1})});
-  expect_roundtrip(full);
+// ablint:roundtrip StateChunkMsg
+TEST(WireRoundtrip, StateChunkMsgSnapshotAndTail) {
+  StateChunkMsg snap;
+  snap.k = 4;
+  snap.snapshot = true;
+  snap.offset = 1024;
+  snap.snap_total = 40;
+  snap.snap_size = 4096;
+  snap.data = {1, 2, 3, 4};
+  expect_roundtrip(snap);
 
-  StateMsg trimmed;
-  trimmed.k = 9;
-  trimmed.trimmed = true;
-  trimmed.base_total = 5;
-  trimmed.tail = {make_app_msg(1, 3, {8})};
-  expect_roundtrip(trimmed);
+  StateChunkMsg tail;
+  tail.k = 9;
+  tail.offset = 5;
+  tail.final_chunk = true;
+  tail.msgs = {make_app_msg(1, 3, {8}), make_app_msg(0, 2, {})};
+  expect_roundtrip(tail);
+  expect_roundtrip(StateChunkMsg{});
 }
 
 // ablint:roundtrip DigestMsg
@@ -119,9 +122,12 @@ TEST(WireRoundtrip, DigestMsg) {
   d.k = 12;
   d.total = 6;
   d.want_reply = true;
+  d.ack_snap_total = 40;
+  d.ack_snap_bytes = 2048;
   d.cover = {3, 0, 9};
   d.msgs = {make_app_msg(2, 10, {1, 1})};
   expect_roundtrip(d);
+  expect_roundtrip(DigestMsg{});
 }
 
 // ablint:roundtrip DecidedMsg
