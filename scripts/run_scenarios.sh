@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Adversarial scenario sweep driver (DESIGN.md §12).
+#
+#   scripts/run_scenarios.sh                  # full 100-seed oracle sweep
+#   scripts/run_scenarios.sh --quick          # 6-seed smoke sweep (CI)
+#   scripts/run_scenarios.sh 'scn1 seed=...'  # replay one serialized line
+#
+# The sweep runs the scenario_sweep_test shards (the generator is the
+# adversary, the strict trace checker is the oracle); a failing seed prints
+# its one-line serialized scenario, which replays bit-for-bit via the
+# second form (bench_scenarios --scenario=LINE).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build"
+
+if [[ $# -gt 0 && "$1" != "--quick" ]]; then
+  cmake --build "${BUILD}" -j"$(nproc)" --target bench_scenarios
+  exec "${BUILD}/bench/bench_scenarios" "--scenario=$1"
+fi
+
+QUICK=0
+if [[ "${1:-}" == "--quick" ]]; then QUICK=1; fi
+
+cmake --build "${BUILD}" -j"$(nproc)" --target scenario_test scenario_sweep_test
+
+"${BUILD}/tests/scenario_test"
+if [[ "${QUICK}" == "1" ]]; then
+  # One shard (25 seeds) keeps the PR lane fast; the full matrix runs in the
+  # nightly bench sweep and the local default.
+  "${BUILD}/tests/scenario_sweep_test" --gtest_filter='ScenarioSweep.Seeds0To24'
+else
+  "${BUILD}/tests/scenario_sweep_test"
+fi

@@ -75,6 +75,7 @@ void Oracle::on_deliver(ProcessId pid, const core::AppMsg& msg) {
     const TimePoint now = now_();
     first_delivery_.emplace(msg.id, now);
     latencies_.push_back(now - broadcast_time_.at(msg.id));
+    timed_latencies_.push_back({now, latencies_.back()});
   }
   positions_[pid] = pos + 1;
 }

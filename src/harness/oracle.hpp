@@ -85,6 +85,16 @@ class Oracle {
   /// Broadcast→first-global-delivery latencies of all delivered messages.
   const std::vector<Duration>& latencies() const { return latencies_; }
 
+  /// The same latencies with their delivery timestamps, in global-order
+  /// position order — the feed for windowed (SLO-style) quantiles.
+  struct TimedLatency {
+    TimePoint delivered_at = 0;
+    Duration latency = 0;
+  };
+  const std::vector<TimedLatency>& timed_latencies() const {
+    return timed_latencies_;
+  }
+
   /// Throws InvariantViolation with diagnostics if any safety property has
   /// been violated; also called internally on every event.
   void check() const;
@@ -101,6 +111,7 @@ class Oracle {
   std::map<MsgId, TimePoint> broadcast_time_;
   std::map<MsgId, TimePoint> first_delivery_;
   std::vector<Duration> latencies_;
+  std::vector<TimedLatency> timed_latencies_;
   std::uint64_t deliver_upcalls_ = 0;
 };
 

@@ -1,0 +1,81 @@
+#include "obs/windowed.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace abcast::obs {
+
+Duration latency_percentile(std::vector<Duration> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0.0) return samples.front();
+  if (q >= 1.0) return samples.back();
+  // Nearest-rank: the smallest sample with at least ceil(q*n) samples <= it.
+  const auto n = samples.size();
+  auto rank = static_cast<std::size_t>(
+      static_cast<double>(n) * q + 0.999999);  // ceil without <cmath>
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples[rank - 1];
+}
+
+namespace {
+
+WindowedLatency::Window summarize(TimePoint start, TimePoint end,
+                                  std::vector<Duration> samples) {
+  WindowedLatency::Window w;
+  w.start = start;
+  w.end = end;
+  w.count = samples.size();
+  if (samples.empty()) return w;
+  w.max = *std::max_element(samples.begin(), samples.end());
+  w.p50 = latency_percentile(samples, 0.50);
+  w.p99 = latency_percentile(samples, 0.99);
+  w.p999 = latency_percentile(std::move(samples), 0.999);
+  return w;
+}
+
+}  // namespace
+
+WindowedLatency::WindowedLatency(TimePoint origin, Duration width)
+    : origin_(origin), width_(width) {
+  ABCAST_CHECK_MSG(width > 0, "window width must be positive");
+}
+
+void WindowedLatency::record(TimePoint at, Duration latency) {
+  const TimePoint rel = at - origin_;
+  // floor division (samples before the origin land in negative windows).
+  std::int64_t idx = rel / width_;
+  if (rel < 0 && rel % width_ != 0) idx -= 1;
+  buckets_[idx].push_back(latency);
+  total_ += 1;
+}
+
+std::vector<WindowedLatency::Window> WindowedLatency::windows() const {
+  std::vector<Window> out;
+  out.reserve(buckets_.size());
+  for (const auto& [idx, samples] : buckets_) {
+    out.push_back(summarize(origin_ + idx * width_,
+                            origin_ + (idx + 1) * width_, samples));
+  }
+  return out;
+}
+
+WindowedLatency::Window WindowedLatency::overall() const {
+  std::vector<Duration> all;
+  all.reserve(total_);
+  TimePoint start = 0;
+  TimePoint end = 0;
+  if (!buckets_.empty()) {
+    start = origin_ + buckets_.begin()->first * width_;
+    end = origin_ + (buckets_.rbegin()->first + 1) * width_;
+  }
+  for (const auto& [idx, samples] : buckets_) {
+    (void)idx;
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+  return summarize(start, end, std::move(all));
+}
+
+}  // namespace abcast::obs

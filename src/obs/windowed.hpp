@@ -1,0 +1,58 @@
+// Windowed latency quantiles for open-loop SLO accounting.
+//
+// End-of-run percentiles hide exactly what an adversarial scenario creates:
+// a ten-second brownout averaged away by minutes of healthy traffic. This
+// accumulator buckets samples into fixed wall-clock (virtual-time) windows
+// and reports p50/p99/p999 *per window*, so a stall shows up in the window
+// where it happened. Exact quantiles by sorting per window — sample counts
+// in simulation are small enough that sketches would be over-engineering.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace abcast::obs {
+
+/// Exact quantile of an UNSORTED sample set (nearest-rank on a sorted
+/// copy); q in [0,1]. Returns 0 for an empty set.
+Duration latency_percentile(std::vector<Duration> samples, double q);
+
+class WindowedLatency {
+ public:
+  /// Windows are [origin + i*width, origin + (i+1)*width).
+  WindowedLatency(TimePoint origin, Duration width);
+
+  /// Records one latency sample stamped with its completion time.
+  void record(TimePoint at, Duration latency);
+
+  struct Window {
+    TimePoint start = 0;
+    TimePoint end = 0;  // exclusive
+    std::uint64_t count = 0;
+    Duration p50 = 0;
+    Duration p99 = 0;
+    Duration p999 = 0;
+    Duration max = 0;
+  };
+
+  /// Per-window quantiles, in time order. Windows with no samples are
+  /// omitted (an open-loop driver that stopped delivering shows up as a
+  /// gap, which is the honest rendering of a stall).
+  std::vector<Window> windows() const;
+
+  /// Quantiles over every sample regardless of window.
+  Window overall() const;
+
+  std::uint64_t total_samples() const { return total_; }
+
+ private:
+  TimePoint origin_;
+  Duration width_;
+  std::map<std::int64_t, std::vector<Duration>> buckets_;  // index -> samples
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace abcast::obs

@@ -1,0 +1,63 @@
+#include "scenario/load.hpp"
+
+namespace abcast::scenario {
+
+struct LoadDriver::State {
+  harness::Cluster& cluster;
+  LoadClause spec;
+  Rng rng;
+  LoadStats stats;
+  std::vector<Submission> submissions;
+  std::uint64_t next_client = 0;
+
+  State(harness::Cluster& c, const LoadClause& s, Rng r)
+      : cluster(c), spec(s), rng(std::move(r)) {}
+};
+
+LoadDriver::LoadDriver(harness::Cluster& cluster, const LoadClause& spec,
+                       Rng rng)
+    : state_(std::make_shared<State>(cluster, spec, std::move(rng))) {}
+
+const LoadStats& LoadDriver::stats() const { return state_->stats; }
+
+const std::vector<Submission>& LoadDriver::submissions() const {
+  return state_->submissions;
+}
+
+void LoadDriver::install() {
+  auto st = state_;
+  st->cluster.sim().at(st->spec.at, [st] { arrive(st); });
+}
+
+void LoadDriver::arrive(const std::shared_ptr<State>& st) {
+  auto& sim = st->cluster.sim();
+  const TimePoint now = sim.now();
+  if (now >= st->spec.at + st->spec.hold) return;  // window over: stop
+
+  st->stats.arrivals += 1;
+  // Round-robin session assignment; each session's home node is fixed, so
+  // a clause with many clients spreads arrivals over every process.
+  const std::uint64_t client = st->next_client++ % st->spec.clients;
+  const auto node = static_cast<ProcessId>(client % sim.n());
+
+  if (sim.host(node).is_up()) {
+    st->stats.submitted += 1;
+    const std::uint64_t crashes = sim.host(node).stats().crashes;
+    auto attempt = st->cluster.broadcast_may_crash(
+        node, Bytes(st->spec.bytes, static_cast<std::uint8_t>(client)));
+    st->submissions.push_back(
+        {attempt.id, node, attempt.completed, now, crashes});
+    if (attempt.completed) st->stats.completed += 1;
+  } else {
+    st->stats.rejected_down += 1;
+  }
+
+  // Open loop: the next arrival is scheduled regardless of what happened
+  // to this one. Mean gap is the clause's; zero draws are bumped to 1ns so
+  // the event loop always advances.
+  Duration gap = st->rng.exponential(st->spec.mean_gap);
+  if (gap <= 0) gap = 1;
+  sim.after(gap, [st] { arrive(st); });
+}
+
+}  // namespace abcast::scenario

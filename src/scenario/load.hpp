@@ -1,0 +1,66 @@
+// Open-loop load driver for scenario runs.
+//
+// A closed-loop driver (submit, wait, submit) measures a polite client
+// that backs off exactly when the cluster struggles — it cannot see a
+// brownout. This driver is open-loop: arrivals follow an exponential
+// inter-arrival process anchored to virtual time, independent of
+// completions, fanned out over a pool of simulated client sessions (each
+// with a fixed home node). A stalled cluster therefore accumulates queued
+// work and the windowed latency quantiles show the stall instead of
+// averaging it away.
+//
+// Submissions go through Cluster::broadcast_may_crash, so a client whose
+// home node dies mid-call sees the crash (the submission is recorded as
+// incomplete); a client whose home node is down on arrival is rejected —
+// exactly a connection refused.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/fixture.hpp"
+#include "scenario/scenario.hpp"
+
+namespace abcast::scenario {
+
+struct LoadStats {
+  std::uint64_t arrivals = 0;       // every scheduled arrival
+  std::uint64_t submitted = 0;      // broadcast attempted (node was up)
+  std::uint64_t completed = 0;      // broadcast returned without crashing
+  std::uint64_t rejected_down = 0;  // home node down on arrival
+};
+
+/// One accepted submission, with the context needed to decide later
+/// whether its delivery may be demanded (see runner.cpp).
+struct Submission {
+  MsgId id{};
+  ProcessId node = 0;
+  bool completed = false;
+  TimePoint at = 0;
+  std::uint64_t node_crashes_at_submit = 0;
+};
+
+/// Installs one LoadClause onto a running cluster. The driver owns only a
+/// shared state block kept alive by its self-scheduling events, so it may
+/// be destroyed before the simulation finishes draining.
+class LoadDriver {
+ public:
+  /// `rng` must be forked deterministically from the scenario seed.
+  LoadDriver(harness::Cluster& cluster, const LoadClause& spec, Rng rng);
+
+  /// Schedules the arrival process; call once, before running the sim.
+  void install();
+
+  const LoadStats& stats() const;
+  const std::vector<Submission>& submissions() const;
+
+ private:
+  struct State;
+  static void arrive(const std::shared_ptr<State>& st);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace abcast::scenario

@@ -1,0 +1,314 @@
+#include "scenario/runner.hpp"
+
+#include <exception>
+#include <memory>
+
+#include "harness/fixture.hpp"
+
+namespace abcast::scenario {
+
+namespace {
+
+/// Channel spice applied to every scenario run: the paper's fair-lossy,
+/// duplicating network, mild enough that the load driver's arrivals (not
+/// the channel) dominate the schedule. Fixed constants — the serialized
+/// scenario line plus these constants fully determine a run.
+constexpr double kDropProb = 0.005;
+constexpr double kDupProb = 0.005;
+
+/// Retries recovery of `p` until it sticks (a recovery can die on its own
+/// storage fault; the paper allows crashing during recovery).
+void recover_until_up(sim::Simulation* sim, ProcessId p) {
+  if (sim->host(p).is_up()) return;
+  if (sim->recover(p)) return;
+  sim->after(millis(20), [sim, p] { recover_until_up(sim, p); });
+}
+
+/// Installs one clause's events. Events at or past the horizon are not
+/// scheduled: the horizon cleanup supersedes them (and a fault that would
+/// START during the drain would make the drain unsound).
+struct Installer {
+  sim::Simulation* sim;
+  Duration horizon;
+
+  void operator()(const PartitionClause& cl) const {
+    if (cl.at >= horizon) return;
+    auto* s = sim;
+    const auto side = cl.side;
+    const auto mode = cl.mode;
+    sim->at(cl.at, [s, side, mode] { s->partition(side, mode); });
+    const Duration heal = cl.at + cl.hold;
+    if (heal < horizon) {
+      sim->at(heal, [s, side, mode] { s->unpartition(side, mode); });
+    }
+  }
+
+  void operator()(const FlapClause& cl) const {
+    auto* s = sim;
+    const Duration half = cl.period / 2 > 0 ? cl.period / 2 : 1;
+    for (std::uint32_t i = 0; i < cl.count; ++i) {
+      const Duration down = cl.at + 2 * static_cast<Duration>(i) * half;
+      const Duration up = down + half;
+      if (down >= horizon) break;
+      sim->at(down, [s, a = cl.a, b = cl.b] { s->block_link(a, b); });
+      // The restore is scheduled even at/past the horizon: leaving a link
+      // blocked can only hurt liveness, and heal_partition at the horizon
+      // clears it anyway — this is just the belt to that brace.
+      sim->at(up, [s, a = cl.a, b = cl.b] { s->unblock_link(a, b); });
+    }
+  }
+
+  void operator()(const GrayClause& cl) const {
+    if (cl.at >= horizon) return;
+    auto* s = sim;
+    sim->at(cl.at, [s, n = cl.node, f = cl.rx_factor] {
+      s->set_rx_delay_factor(n, f);
+    });
+    const Duration end = cl.at + cl.hold;
+    if (end < horizon) {
+      sim->at(end, [s, n = cl.node] { s->set_rx_delay_factor(n, 1.0); });
+    }
+  }
+
+  void operator()(const SkewClause&) const {
+    // Applied before start (timers armed at start must already be skewed);
+    // see run_scenario.
+  }
+
+  void operator()(const DiskClause& cl) const {
+    if (cl.at >= horizon) return;
+    auto* s = sim;
+    sim->at(cl.at, [s, cl] {
+      auto profile = s->storage_faults(cl.node).profile();
+      profile.op_delay_min_ns = cl.delay_min;
+      profile.op_delay_max_ns = cl.delay_max;
+      profile.stall_prob = cl.stall_prob;
+      profile.stall_ns = cl.stall;
+      s->storage_faults(cl.node).set_profile(profile);
+    });
+    const Duration end = cl.at + cl.hold;
+    if (end < horizon) {
+      sim->at(end, [s, n = cl.node] {
+        auto profile = s->storage_faults(n).profile();
+        profile.op_delay_min_ns = 0;
+        profile.op_delay_max_ns = 0;
+        profile.stall_prob = 0.0;
+        profile.stall_ns = 0;
+        s->storage_faults(n).set_profile(profile);
+      });
+    }
+  }
+
+  void operator()(const BurstClause& cl) const {
+    if (cl.at >= horizon) return;
+    auto* s = sim;
+    const auto victims = cl.victims;
+    sim->at(cl.at, [s, victims] {
+      for (const ProcessId v : victims) {
+        if (s->host(v).is_up()) s->crash(v);
+      }
+    });
+    const Duration back = cl.at + cl.down;
+    if (back < horizon) {
+      sim->at(back, [s, victims] {
+        for (const ProcessId v : victims) recover_until_up(s, v);
+      });
+    }  // else: the horizon recovery pump brings them back
+  }
+
+  void operator()(const StormClause& cl) const {
+    auto* s = sim;
+    for (std::uint32_t i = 0; i < cl.times; ++i) {
+      const Duration arm = cl.at + static_cast<Duration>(i) * cl.gap;
+      if (arm >= horizon) break;
+      sim->at(arm, [s, cl] {
+        s->storage_faults(cl.node).arm_crash_in(cl.ops_ahead, cl.phase);
+      });
+      // Half a gap later, whatever died is pushed back through recovery
+      // (which may itself die on the next armed point — that's the storm).
+      const Duration mend = arm + cl.gap / 2;
+      if (mend < horizon) {
+        sim->at(mend, [s, n = cl.node] { recover_until_up(s, n); });
+      }
+    }
+  }
+
+  void operator()(const LoadClause&) const {
+    // Load clauses are driven by LoadDriver, not scheduled here.
+  }
+};
+
+std::uint64_t fnv1a_order(const std::vector<MsgId>& order) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  };
+  for (const auto& id : order) {
+    mix(id.sender);
+    mix(id.seq);
+  }
+  return h;
+}
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
+  RunResult result;
+
+  harness::ClusterConfig cfg;
+  cfg.sim.n = s.n;
+  cfg.sim.seed = s.seed * 2654435761ull + 1;
+  cfg.sim.trace_capacity = opts.trace_capacity;
+  cfg.sim.net.drop_prob = kDropProb;
+  cfg.sim.net.dup_prob = kDupProb;
+  cfg.stack.engine = s.engine;
+  if (s.alternative) {
+    cfg.stack.ab = core::Options::alternative();
+    cfg.stack.ab.checkpoint_period = millis(50);
+  }
+  if (s.digest_gossip) {
+    cfg.stack.ab.digest_gossip = true;
+    cfg.stack.ab.suppress_idle_gossip = true;
+  }
+
+  harness::Cluster c(cfg);
+  auto* sim = &c.sim();
+
+  // Skew is a host property, applied before any timer is armed.
+  for (const auto& clause : s.clauses) {
+    if (const auto* sk = std::get_if<SkewClause>(&clause)) {
+      sim->set_timer_scale(sk->node, sk->scale);
+    }
+  }
+
+  c.start_all();
+
+  const Installer install{sim, s.horizon};
+  for (const auto& clause : s.clauses) std::visit(install, clause);
+
+  // Load drivers, deterministically seeded per clause position.
+  Rng load_rng(s.seed * 7919ull + 23);
+  std::vector<std::unique_ptr<LoadDriver>> drivers;
+  for (const auto& clause : s.clauses) {
+    if (const auto* ld = std::get_if<LoadClause>(&clause)) {
+      LoadClause clamped = *ld;
+      // Arrivals must not outlive the horizon: the drain phase measures
+      // the protocol, not a still-firing workload.
+      if (clamped.at >= s.horizon) continue;
+      if (clamped.at + clamped.hold > s.horizon) {
+        clamped.hold = s.horizon - clamped.at;
+      }
+      drivers.push_back(
+          std::make_unique<LoadDriver>(c, clamped, load_rng.fork()));
+      drivers.back()->install();
+    }
+  }
+
+  try {
+    sim->run_until(s.horizon);
+
+    // ---- horizon: stop injecting ---------------------------------------
+    sim->heal_partition();
+    for (ProcessId p = 0; p < sim->n(); ++p) {
+      sim->set_rx_delay_factor(p, 1.0);
+      sim->storage_faults(p).disarm_crash_point();
+      auto profile = sim->storage_faults(p).profile();
+      profile.op_delay_min_ns = 0;
+      profile.op_delay_max_ns = 0;
+      profile.stall_prob = 0.0;
+      profile.stall_ns = 0;
+      sim->storage_faults(p).set_profile(profile);
+    }
+    // Recovery pump: every process must come (and stay) up.
+    for (int tries = 0; tries < 200; ++tries) {
+      bool all_up = true;
+      for (ProcessId p = 0; p < sim->n(); ++p) {
+        if (!sim->host(p).is_up()) {
+          all_up = false;
+          sim->recover(p);
+        }
+      }
+      if (all_up) break;
+      sim->run_for(millis(10));
+    }
+    for (ProcessId p = 0; p < sim->n(); ++p) {
+      if (!sim->host(p).is_up()) {
+        result.failure = "recovery keeps dying at p" + std::to_string(p);
+        return result;
+      }
+    }
+
+    // ---- required deliveries -------------------------------------------
+    std::vector<MsgId> required;
+    for (const auto& d : drivers) {
+      result.load.arrivals += d->stats().arrivals;
+      result.load.submitted += d->stats().submitted;
+      result.load.completed += d->stats().completed;
+      result.load.rejected_down += d->stats().rejected_down;
+      for (const auto& sub : d->submissions()) {
+        if (!sub.completed) continue;
+        // log_unordered (alternative protocol) makes a completed broadcast
+        // durable; otherwise demand it only if the submitting process
+        // never crashed after the call (paper Termination obliges only
+        // processes that stay up).
+        if (s.alternative ||
+            sim->host(sub.node).stats().crashes ==
+                sub.node_crashes_at_submit) {
+          required.push_back(sub.id);
+        }
+      }
+    }
+    result.required = required.size();
+
+    result.delivered =
+        c.await_delivery(required, {}, opts.drain_timeout);
+    if (!result.delivered) {
+      result.failure = "required submissions not delivered everywhere";
+      return result;
+    }
+    result.quiesced = c.await_quiesced(opts.drain_timeout);
+    if (!result.quiesced) {
+      result.failure = "cluster failed to quiesce";
+      return result;
+    }
+    c.oracle().check();
+  } catch (const std::exception& e) {
+    // An oracle invariant (total order / integrity / validity) or a
+    // harness check tripped mid-run.
+    result.failure = e.what();
+    return result;
+  }
+
+  result.delivered_global = c.oracle().global_order().size();
+  result.order_digest = fnv1a_order(c.oracle().global_order());
+  result.events_fired = sim->events_fired();
+
+  // ---- SLO accounting ---------------------------------------------------
+  obs::WindowedLatency wl(0, opts.window);
+  for (const auto& tl : c.oracle().timed_latencies()) {
+    wl.record(tl.delivered_at, tl.latency);
+  }
+  result.windows = wl.windows();
+  result.overall = wl.overall();
+
+  // ---- the oracle proper: strict offline trace check --------------------
+  if (c.trace_dropped() != 0) {
+    result.failure = "trace ring dropped events; raise trace_capacity";
+    return result;
+  }
+  obs::CheckOptions check;
+  check.require_quiesced = true;
+  check.basic_protocol = !s.alternative;
+  if (s.alternative) {
+    check.max_state_chunk_bytes = cfg.stack.ab.max_state_bytes;
+  }
+  const auto report = obs::check_trace(c.collect_trace(), check);
+  result.check_stats = report.stats;
+  result.checker_ok = report.ok();
+  if (!result.checker_ok) {
+    result.failure = obs::to_string(report.violations[0]);
+  }
+  return result;
+}
+
+}  // namespace abcast::scenario

@@ -1,9 +1,25 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/logging.hpp"
 
 namespace abcast::sim {
+
+namespace {
+
+/// Scales a non-negative duration by a non-negative factor, saturating
+/// instead of overflowing (a 1e9 skew on a 60s timer must not wrap).
+Duration scale_duration(Duration d, double factor) {
+  if (d <= 0 || factor <= 0.0) return 0;
+  const double scaled = static_cast<double>(d) * factor;
+  constexpr double kMax = 9.0e18;  // < INT64_MAX, safely representable
+  if (scaled >= kMax) return static_cast<Duration>(kMax);
+  return static_cast<Duration>(scaled);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- SimHost
 
@@ -36,16 +52,23 @@ TimePoint SimHost::now() const { return sim_.scheduler_.now(); }
 
 TimerId SimHost::schedule_after(Duration delay, std::function<void()> fn) {
   ABCAST_CHECK_MSG(node_ != nullptr, "down process cannot schedule timers");
+  // Timer skew scales the requested delay (a slow clock fires late); a
+  // pending slow-disk stall pushes the timer past the stall — the process
+  // could not have armed it before resuming.
+  const Duration effective =
+      scale_duration(delay < 0 ? 0 : delay, timer_scale_) +
+      consume_busy_delay();
   // Wrap so the token is forgotten once fired, and the callback is skipped
   // if the host crashed (crash cancels, but belt-and-braces for reentrancy:
   // a crash executed from within this very callback chain).
   const auto token_holder = std::make_shared<Scheduler::Token>(0);
   auto token = sim_.scheduler_.schedule_after(
-      delay, [this, fn = std::move(fn), token_holder]() {
+      effective, [this, fn = std::move(fn), token_holder]() {
         live_timers_.erase(*token_holder);
         if (node_ == nullptr) return;  // crashed between firing and running
         try {
           fn();
+          consume_busy_delay();  // trailing slow ops stall the host now
         } catch (const SimulatedCrash&) {
           crash_from_storage_fault();
         } catch (const StorageIoError&) {
@@ -68,7 +91,19 @@ void SimHost::cancel_timer(TimerId id) {
 void SimHost::send(ProcessId to, const Wire& msg) {
   ABCAST_CHECK_MSG(node_ != nullptr, "down process cannot send");
   ABCAST_CHECK_MSG(to < sim_.n(), "send target out of range");
-  sim_.transmit(id_, to, msg);
+  // A datagram sent after a slow storage operation leaves the host only
+  // once the stall has passed.
+  sim_.transmit(id_, to, msg, consume_busy_delay());
+}
+
+Duration SimHost::consume_busy_delay() {
+  const Duration pending = storage_->take_pending_delay();
+  if (pending > 0) {
+    const TimePoint base = std::max(busy_until_, now());
+    busy_until_ = base + pending;
+  }
+  const TimePoint t = now();
+  return busy_until_ > t ? busy_until_ - t : 0;
 }
 
 bool SimHost::start(const NodeFactory& factory, bool recovering) {
@@ -93,6 +128,7 @@ bool SimHost::start(const NodeFactory& factory, bool recovering) {
   if (recovering && recorder_) {
     recorder_->record(obs::EventKind::kRecoverEnd, now());
   }
+  consume_busy_delay();  // a slow recovery replay stalls the fresh stack
   return true;
 }
 
@@ -103,6 +139,10 @@ void SimHost::crash() {
   node_.reset();
   for (const auto token : live_timers_) sim_.scheduler_.cancel(token);
   live_timers_.clear();
+  // A reboot clears the device queue: the in-progress stall dies with the
+  // incarnation (the latency *profile* on the decorator persists).
+  busy_until_ = 0;
+  storage_->take_pending_delay();
   stats_.crashes += 1;
   if (recorder_) recorder_->record(obs::EventKind::kCrash, now());
 }
@@ -116,8 +156,18 @@ void SimHost::crash_from_storage_fault() {
 
 void SimHost::deliver(ProcessId from, const Wire& msg) {
   if (node_ == nullptr) return;  // lost: arrived while down (paper §2.1)
+  // A host stalled on its disk consumes nothing until the stall passes:
+  // the datagram waits in the receive buffer (and is lost if the host
+  // crashes first — exactly the kernel-buffer behaviour).
+  const Duration wait = consume_busy_delay();
+  if (wait > 0) {
+    sim_.scheduler_.schedule_after(
+        wait, [this, from, copy = msg]() { deliver(from, copy); });
+    return;
+  }
   try {
     node_->on_message(from, msg);
+    consume_busy_delay();  // trailing slow ops stall the host now
   } catch (const SimulatedCrash&) {
     crash_from_storage_fault();
   } catch (const StorageIoError&) {
@@ -183,21 +233,49 @@ void Simulation::unblock_link(ProcessId a, ProcessId b) {
   blocked_links_.erase({a, b});
 }
 
-void Simulation::partition(const std::vector<ProcessId>& members) {
+void Simulation::apply_partition(const std::vector<ProcessId>& members,
+                                 PartitionMode mode, bool install) {
   const std::set<ProcessId> side(members.begin(), members.end());
   for (ProcessId a = 0; a < config_.n; ++a) {
     for (ProcessId b = 0; b < config_.n; ++b) {
       if (a == b) continue;
-      if (side.count(a) != side.count(b)) {
+      if (side.count(a) == side.count(b)) continue;  // same side of the cut
+      // Directed link a -> b crosses the cut. Which directions the mode
+      // blocks: kInbound only those terminating inside `members`,
+      // kOutbound only those originating there.
+      const bool into_members = side.count(b) != 0;
+      const bool blocked = mode == PartitionMode::kSymmetric ||
+                           (mode == PartitionMode::kInbound && into_members) ||
+                           (mode == PartitionMode::kOutbound && !into_members);
+      if (!blocked) continue;
+      if (install) {
         blocked_links_.insert({a, b});
+      } else {
+        blocked_links_.erase({a, b});
       }
     }
   }
 }
 
+void Simulation::partition(const std::vector<ProcessId>& members,
+                           PartitionMode mode) {
+  apply_partition(members, mode, /*install=*/true);
+}
+
+void Simulation::unpartition(const std::vector<ProcessId>& members,
+                             PartitionMode mode) {
+  apply_partition(members, mode, /*install=*/false);
+}
+
 void Simulation::heal_partition() { blocked_links_.clear(); }
 
-void Simulation::transmit(ProcessId from, ProcessId to, const Wire& msg) {
+void Simulation::heal_link(ProcessId a, ProcessId b) {
+  unblock_link(a, b);
+  unblock_link(b, a);
+}
+
+void Simulation::transmit(ProcessId from, ProcessId to, const Wire& msg,
+                          Duration sender_stall) {
   net_stats_.sent += 1;
   const std::uint64_t bytes = msg.payload.size() + sizeof(std::uint16_t);
   net_stats_.bytes_sent += bytes;
@@ -210,19 +288,26 @@ void Simulation::transmit(ProcessId from, ProcessId to, const Wire& msg) {
   }
 
   const NetConfig& net = config_.net;
-  auto schedule_copy = [this, from, to, &msg](Duration delay) {
+  // Gray failure: the receiver's rx factor inflates the channel delay of
+  // everything addressed to it (sampled at send time, so a run stays
+  // deterministic); the sender's disk stall delays the departure itself.
+  const double rx_factor = hosts_[to]->rx_delay_factor();
+  auto schedule_copy = [this, from, to, &msg, sender_stall,
+                        rx_factor](Duration delay) {
     // The Wire is copied into the event: channels may hold messages long
     // after the sender's stack is gone. The copy only bumps the payload
     // refcount — a multisend's bytes are encoded once and shared by every
     // recipient's (and every duplicate's) in-flight event.
-    scheduler_.schedule_after(delay, [this, from, to, copy = msg]() {
-      if (!hosts_[to]->is_up()) {
-        net_stats_.dropped_down += 1;
-        return;
-      }
-      net_stats_.delivered += 1;
-      hosts_[to]->deliver(from, copy);
-    });
+    scheduler_.schedule_after(
+        sender_stall + scale_duration(delay, rx_factor),
+        [this, from, to, copy = msg]() {
+          if (!hosts_[to]->is_up()) {
+            net_stats_.dropped_down += 1;
+            return;
+          }
+          net_stats_.delivered += 1;
+          hosts_[to]->deliver(from, copy);
+        });
   };
 
   if (from == to) {

@@ -31,6 +31,15 @@
 
 namespace abcast::sim {
 
+/// Which directions of a partition cut are blocked. The asymmetric modes
+/// model one-way network failures (a dead receive queue, a misconfigured
+/// firewall rule): the affected side keeps transmitting into the void.
+enum class PartitionMode {
+  kSymmetric,  // both directions blocked across the cut (classic split)
+  kInbound,    // only traffic INTO `members` is blocked; they can talk out
+  kOutbound,   // only traffic OUT OF `members` is blocked; they still hear
+};
+
 /// Channel behaviour. The defaults give a lossy but lively network.
 struct NetConfig {
   Duration delay_min = millis(1);
@@ -127,6 +136,22 @@ class SimHost final : public Env {
   /// counters the harness reads).
   StableStorage& raw_storage() { return storage_->inner(); }
 
+  /// Gray-failure knob: inbound datagrams to this host have their channel
+  /// delay multiplied by `factor` (>= 0; 1 = nominal). Models a node whose
+  /// receive path is slow rather than dead.
+  void set_rx_delay_factor(double factor) { rx_delay_factor_ = factor; }
+  double rx_delay_factor() const { return rx_delay_factor_; }
+
+  /// Clock/timer skew knob: every delay this host's protocol stack passes
+  /// to schedule_after is multiplied by `scale` (> 0). scale > 1 is a slow
+  /// clock (timers fire late), scale < 1 a fast one.
+  void set_timer_scale(double scale) { timer_scale_ = scale; }
+  double timer_scale() const { return timer_scale_; }
+
+  /// Virtual time up to which this host is stalled on its (slow) storage;
+  /// sends/timers scheduled earlier are pushed past it. See DESIGN.md §12.
+  TimePoint busy_until() const { return busy_until_; }
+
   /// Converts a SimulatedCrash/StorageIoError that escaped into HARNESS
   /// code (e.g. a test calling broadcast() on a host with an armed
   /// crash-point) into the usual storage-fault crash.
@@ -141,6 +166,12 @@ class SimHost final : public Env {
   void crash();
   void deliver(ProcessId from, const Wire& msg);
 
+  /// Folds the storage decorator's accrued slow-disk latency into
+  /// busy_until_ and returns how far past `now` this host is stalled
+  /// (0 when idle). Called on every send/schedule/delivery so the stall
+  /// defers exactly the activity that follows the slow operation.
+  Duration consume_busy_delay();
+
   Simulation& sim_;
   ProcessId id_;
   Rng rng_;
@@ -150,6 +181,9 @@ class SimHost final : public Env {
   std::unique_ptr<NodeApp> node_;
   std::set<Scheduler::Token> live_timers_;
   HostStats stats_;
+  double rx_delay_factor_ = 1.0;
+  double timer_scale_ = 1.0;
+  TimePoint busy_until_ = 0;
 };
 
 class Simulation {
@@ -200,10 +234,30 @@ class Simulation {
   void block_link(ProcessId a, ProcessId b);
   void unblock_link(ProcessId a, ProcessId b);
 
-  /// Partitions the group into {members} vs the rest (both directions
-  /// blocked across the cut); heal_partition removes all blocks.
-  void partition(const std::vector<ProcessId>& members);
+  /// Partitions the group into {members} vs the rest. The default blocks
+  /// both directions across the cut; the asymmetric modes block only one
+  /// (see PartitionMode). heal_partition removes ALL blocks; use
+  /// heal_link / unpartition for surgical repair.
+  void partition(const std::vector<ProcessId>& members,
+                 PartitionMode mode = PartitionMode::kSymmetric);
   void heal_partition();
+
+  /// Unblocks both directions of one link (per-link heal: a partial repair
+  /// that can leave the rest of a cut in place).
+  void heal_link(ProcessId a, ProcessId b);
+
+  /// Removes exactly the blocks partition(members, mode) installed, leaving
+  /// blocks from other sources (flapping links, other cuts) untouched.
+  void unpartition(const std::vector<ProcessId>& members,
+                   PartitionMode mode = PartitionMode::kSymmetric);
+
+  /// Per-host gray-failure / skew knobs (see SimHost).
+  void set_rx_delay_factor(ProcessId p, double factor) {
+    host(p).set_rx_delay_factor(factor);
+  }
+  void set_timer_scale(ProcessId p, double scale) {
+    host(p).set_timer_scale(scale);
+  }
 
   // ---- execution -------------------------------------------------------
   /// Runs until virtual time `t` (events at exactly `t` included).
@@ -243,7 +297,12 @@ class Simulation {
  private:
   friend class SimHost;
 
-  void transmit(ProcessId from, ProcessId to, const Wire& msg);
+  void transmit(ProcessId from, ProcessId to, const Wire& msg,
+                Duration sender_stall);
+
+  /// Installs or removes the directed cross-cut blocks of one partition.
+  void apply_partition(const std::vector<ProcessId>& members,
+                       PartitionMode mode, bool install);
 
   SimConfig config_;
   Rng rng_;

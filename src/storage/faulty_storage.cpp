@@ -21,6 +21,26 @@ void FaultyStorage::disarm_crash_point() { crash_at_op_ = 0; }
 
 std::uint64_t FaultyStorage::begin_op() {
   fault_stats_.total_ops += 1;
+  // Slow-disk accrual. Every RNG draw is gated on the knob being set so a
+  // profile without latency leaves the fault RNG stream bit-identical to
+  // builds before this mode existed (seeded tests depend on that).
+  if (profile_.op_delay_max_ns > 0) {
+    const std::int64_t lo =
+        profile_.op_delay_min_ns < 0 ? 0 : profile_.op_delay_min_ns;
+    const std::int64_t hi = profile_.op_delay_max_ns < lo
+                                ? lo
+                                : profile_.op_delay_max_ns;
+    const std::int64_t d = rng_.uniform(lo, hi);
+    pending_delay_ns_ += d;
+    fault_stats_.delay_injected_ns += static_cast<std::uint64_t>(d);
+  }
+  if (profile_.stall_prob > 0 && rng_.chance(profile_.stall_prob) &&
+      profile_.stall_ns > 0) {
+    pending_delay_ns_ += profile_.stall_ns;
+    fault_stats_.stalls += 1;
+    fault_stats_.delay_injected_ns +=
+        static_cast<std::uint64_t>(profile_.stall_ns);
+  }
   return fault_stats_.total_ops;
 }
 

@@ -60,11 +60,24 @@ struct StorageFaultProfile {
   /// Once cumulative payload bytes written exceed this budget, every
   /// further put fails with StorageIoError. 0 means unlimited.
   std::uint64_t disk_full_after_bytes = 0;
+  /// Slow disk: every put/get/erase accrues a uniform delay in
+  /// [op_delay_min_ns, op_delay_max_ns]. The decorator has no clock, so the
+  /// delay is banked in `pending_delay()` for the host to drain: the simulated
+  /// host folds it into its busy window so later sends, timers, and inbound
+  /// deliveries are pushed past the stall. 0/0 disables the mode.
+  std::int64_t op_delay_min_ns = 0;
+  std::int64_t op_delay_max_ns = 0;
+  /// With this probability an op additionally hits a long stall of
+  /// `stall_ns` (a device hiccup: firmware GC, fsync storm), banked the
+  /// same way.
+  double stall_prob = 0.0;
+  std::int64_t stall_ns = 0;
 
   bool any() const {
     return put_io_error_prob > 0 || get_io_error_prob > 0 ||
            erase_io_error_prob > 0 || silent_torn_put_prob > 0 ||
-           read_bit_flip_prob > 0 || disk_full_after_bytes > 0;
+           read_bit_flip_prob > 0 || disk_full_after_bytes > 0 ||
+           op_delay_max_ns > 0 || stall_prob > 0;
   }
 };
 
@@ -75,6 +88,8 @@ struct StorageFaultStats {
   std::uint64_t bit_flips = 0;
   std::uint64_t disk_full_failures = 0;
   std::uint64_t crash_points_fired = 0;
+  std::uint64_t stalls = 0;                 // long-stall events injected
+  std::uint64_t delay_injected_ns = 0;      // total banked latency, ever
 };
 
 class FaultyStorage final : public StableStorage {
@@ -109,6 +124,17 @@ class FaultyStorage final : public StableStorage {
 
   const StorageFaultStats& fault_stats() const { return fault_stats_; }
 
+  // ---- slow disk ---------------------------------------------------------
+  /// Latency banked by slow/stalling ops since the last drain. The owner
+  /// (the simulated host) is expected to call take_pending_delay() after
+  /// each protocol callback and convert the sum into busy time.
+  std::int64_t pending_delay_ns() const { return pending_delay_ns_; }
+  std::int64_t take_pending_delay() {
+    const std::int64_t d = pending_delay_ns_;
+    pending_delay_ns_ = 0;
+    return d;
+  }
+
   // ---- StableStorage -----------------------------------------------------
   void put(std::string_view key, const Bytes& value) override;
   std::optional<Bytes> get(std::string_view key) override;
@@ -120,7 +146,7 @@ class FaultyStorage final : public StableStorage {
   const StorageStats& stats() const override { return inner_->stats(); }
 
  private:
-  /// Counts the op; fires the crash-point when due in kBeforeOp phase.
+  /// Counts the op; accrues slow-disk latency when configured.
   /// Returns the op's index.
   std::uint64_t begin_op();
   bool crash_due(std::uint64_t op_index) const {
@@ -136,6 +162,7 @@ class FaultyStorage final : public StableStorage {
   StorageFaultProfile profile_;
   StorageFaultStats fault_stats_;
   std::uint64_t bytes_budget_used_ = 0;
+  std::int64_t pending_delay_ns_ = 0;
   std::uint64_t crash_at_op_ = 0;  // 0 = disarmed
   CrashPhase crash_phase_ = CrashPhase::kBeforeOp;
 };

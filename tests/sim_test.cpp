@@ -542,3 +542,153 @@ TEST(Churn, StrictMinorityDownAtEveryInstant) {
     }
   }
 }
+
+// ------------------------------------------- asymmetric partitions / heal
+
+TEST(SimPartition, InboundModeBlocksOnlyTrafficIntoMembers) {
+  ProbeCluster c({.n = 3, .seed = 2});
+  c.sim.start_all();
+  c.sim.partition({0}, PartitionMode::kInbound);
+  c.probe(1)->env().send(0, ping());  // into the cut: blocked
+  c.probe(0)->env().send(1, ping());  // out of the cut: flows
+  c.sim.run_for(seconds(1));
+  EXPECT_TRUE(c.shared[0].received.empty());
+  EXPECT_EQ(c.shared[1].received.size(), 1u);
+  EXPECT_EQ(c.sim.net_stats().dropped_partition, 1u);
+}
+
+TEST(SimPartition, OutboundModeBlocksOnlyTrafficOutOfMembers) {
+  ProbeCluster c({.n = 3, .seed = 2});
+  c.sim.start_all();
+  c.sim.partition({0}, PartitionMode::kOutbound);
+  c.probe(0)->env().send(1, ping());  // out of the cut: blocked
+  c.probe(1)->env().send(0, ping());  // into the cut: flows
+  c.sim.run_for(seconds(1));
+  EXPECT_TRUE(c.shared[1].received.empty());
+  EXPECT_EQ(c.shared[0].received.size(), 1u);
+}
+
+TEST(SimPartition, HealLinkRepairsOneLinkLeavingTheCut) {
+  ProbeCluster c({.n = 3, .seed = 2});
+  c.sim.start_all();
+  c.sim.partition({0});  // symmetric isolation of p0
+  c.sim.heal_link(0, 1);
+  c.probe(0)->env().send(1, ping());
+  c.probe(1)->env().send(0, ping());
+  c.probe(0)->env().send(2, ping());  // the 0<->2 cut is still in place
+  c.probe(2)->env().send(0, ping());
+  c.sim.run_for(seconds(1));
+  EXPECT_EQ(c.shared[0].received.size(), 1u);
+  EXPECT_EQ(c.shared[1].received.size(), 1u);
+  EXPECT_TRUE(c.shared[2].received.empty());
+}
+
+TEST(SimPartition, UnpartitionRemovesOnlyThatCutsBlocks) {
+  ProbeCluster c({.n = 3, .seed = 2});
+  c.sim.start_all();
+  c.sim.block_link(1, 2);  // an unrelated one-way block (a flapping link)
+  c.sim.partition({0}, PartitionMode::kInbound);
+  c.sim.unpartition({0}, PartitionMode::kInbound);
+  c.probe(1)->env().send(0, ping());  // the cut is gone
+  c.probe(1)->env().send(2, ping());  // the unrelated block is not
+  c.sim.run_for(seconds(1));
+  EXPECT_EQ(c.shared[0].received.size(), 1u);
+  EXPECT_TRUE(c.shared[2].received.empty());
+}
+
+// ------------------------------------------------- gray failure and skew
+
+TEST(SimGray, RxFactorInflatesOnlyInboundDelay) {
+  SimConfig cfg{.n = 3, .seed = 4};
+  cfg.net.delay_min = cfg.net.delay_max = millis(10);
+  ProbeCluster c(cfg);
+  c.sim.start_all();
+  c.sim.set_rx_delay_factor(1, 10.0);
+  c.probe(0)->env().send(1, ping());  // inbound to the gray node: 100ms
+  c.probe(1)->env().send(2, ping());  // outbound from it: nominal 10ms
+  c.sim.run_until(millis(50));
+  EXPECT_TRUE(c.shared[1].received.empty());
+  EXPECT_EQ(c.shared[2].received.size(), 1u);
+  c.sim.run_until(millis(110));
+  EXPECT_EQ(c.shared[1].received.size(), 1u);
+}
+
+TEST(SimGray, TimerScaleSkewsProtocolTimers) {
+  ProbeCluster c({.n = 2, .seed = 4});
+  c.sim.start_all();
+  c.sim.set_timer_scale(0, 3.0);
+  bool fired = false;
+  c.probe(0)->env().schedule_after(millis(10), [&fired] { fired = true; });
+  c.sim.run_until(millis(29));
+  EXPECT_FALSE(fired);
+  c.sim.run_until(millis(31));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimGray, FastClockFiresEarly) {
+  ProbeCluster c({.n = 2, .seed = 4});
+  c.sim.start_all();
+  c.sim.set_timer_scale(0, 0.5);
+  bool fired = false;
+  c.probe(0)->env().schedule_after(millis(10), [&fired] { fired = true; });
+  c.sim.run_until(millis(4));
+  EXPECT_FALSE(fired);
+  c.sim.run_until(millis(6));
+  EXPECT_TRUE(fired);
+}
+
+// -------------------------------------------------------------- slow disk
+
+TEST(SimSlowDisk, PendingStorageDelayDefersTheNextSend) {
+  SimConfig cfg{.n = 2, .seed = 5};
+  cfg.net.delay_min = cfg.net.delay_max = millis(10);
+  ProbeCluster c(cfg);
+  c.sim.start_all();
+  StorageFaultProfile slow;
+  slow.op_delay_min_ns = millis(5);
+  slow.op_delay_max_ns = millis(5);
+  c.sim.storage_faults(0).set_profile(slow);
+  c.sim.host(0).faulty_storage().put("k", {1});  // banks a 5ms stall
+  c.probe(0)->env().send(1, ping());  // departs at 5ms, arrives at 15ms
+  c.sim.run_until(millis(14));
+  EXPECT_TRUE(c.shared[1].received.empty());
+  c.sim.run_until(millis(16));
+  EXPECT_EQ(c.shared[1].received.size(), 1u);
+}
+
+TEST(SimSlowDisk, StalledReceiverDefersDelivery) {
+  SimConfig cfg{.n = 2, .seed = 5};
+  cfg.net.delay_min = cfg.net.delay_max = millis(10);
+  ProbeCluster c(cfg);
+  c.sim.start_all();
+  StorageFaultProfile slow;
+  slow.op_delay_min_ns = millis(10);
+  slow.op_delay_max_ns = millis(10);
+  c.sim.storage_faults(1).set_profile(slow);
+  c.sim.host(1).faulty_storage().put("k", {1});  // banks a 10ms stall
+  c.probe(0)->env().send(1, ping());
+  // The datagram lands at 10ms, but the receiver folds its stall in on
+  // arrival and consumes it only at 20ms.
+  c.sim.run_until(millis(19));
+  EXPECT_TRUE(c.shared[1].received.empty());
+  c.sim.run_until(millis(21));
+  EXPECT_EQ(c.shared[1].received.size(), 1u);
+}
+
+TEST(SimSlowDisk, CrashClearsTheInProgressStall) {
+  SimConfig cfg{.n = 2, .seed = 5};
+  cfg.net.delay_min = cfg.net.delay_max = millis(10);
+  ProbeCluster c(cfg);
+  c.sim.start_all();
+  StorageFaultProfile slow;
+  slow.op_delay_min_ns = seconds(5);
+  slow.op_delay_max_ns = seconds(5);
+  c.sim.storage_faults(0).set_profile(slow);
+  c.sim.host(0).faulty_storage().put("k", {1});  // a monstrous stall
+  c.sim.storage_faults(0).set_profile({});
+  c.sim.crash(0);  // the reboot clears the device queue
+  c.sim.recover(0);
+  c.probe(0)->env().send(1, ping());
+  c.sim.run_for(millis(20));  // nominal delivery: no leftover stall
+  EXPECT_EQ(c.shared[1].received.size(), 1u);
+}

@@ -567,3 +567,73 @@ TEST(DurableCounter, StoreIsOneWritePerCall) {
   c.bump();
   EXPECT_EQ(mem.stats().put_ops, before + 1);
 }
+
+// ------------------------------------------------------- slow-disk latency
+
+TEST(FaultyStorageLatency, PerOpDelayAccruesAndDrains) {
+  auto s = make_faulty();
+  StorageFaultProfile p;
+  p.op_delay_min_ns = 100;
+  p.op_delay_max_ns = 100;  // degenerate range: deterministic draw
+  EXPECT_TRUE(p.any());
+  s.set_profile(p);
+  EXPECT_EQ(s.pending_delay_ns(), 0);
+  s.put("k", bytes_of("v"));
+  EXPECT_EQ(s.pending_delay_ns(), 100);
+  s.get("k");
+  s.erase("k");
+  EXPECT_EQ(s.pending_delay_ns(), 300);
+  EXPECT_EQ(s.fault_stats().delay_injected_ns, 300u);
+  EXPECT_EQ(s.take_pending_delay(), 300);
+  EXPECT_EQ(s.pending_delay_ns(), 0);
+  // Draining does not reset the lifetime stat.
+  EXPECT_EQ(s.fault_stats().delay_injected_ns, 300u);
+}
+
+TEST(FaultyStorageLatency, DelayIsDrawnFromTheRange) {
+  auto s = make_faulty();
+  StorageFaultProfile p;
+  p.op_delay_min_ns = 50;
+  p.op_delay_max_ns = 150;
+  s.set_profile(p);
+  for (int i = 0; i < 64; ++i) {
+    s.put("k", bytes_of("v"));
+    const auto d = s.take_pending_delay();
+    EXPECT_GE(d, 50);
+    EXPECT_LE(d, 150);
+  }
+}
+
+TEST(FaultyStorageLatency, StallModeInjectsLongStalls) {
+  auto s = make_faulty();
+  StorageFaultProfile p;
+  p.stall_prob = 1.0;
+  p.stall_ns = millis(10);
+  EXPECT_TRUE(p.any());
+  s.set_profile(p);
+  s.put("k", bytes_of("v"));
+  EXPECT_EQ(s.pending_delay_ns(), millis(10));
+  EXPECT_EQ(s.fault_stats().stalls, 1u);
+  s.get("k");
+  EXPECT_EQ(s.fault_stats().stalls, 2u);
+  EXPECT_EQ(s.pending_delay_ns(), 2 * millis(10));
+}
+
+TEST(FaultyStorageLatency, LatencyFreeProfileLeavesRngStreamUntouched) {
+  // The latency mode must not perturb seeded runs that do not use it: two
+  // decorators with the same RNG seed, one latency-free profile and one
+  // untouched, must make identical randomized-fault decisions.
+  auto a = make_faulty(99);
+  auto b = make_faulty(99);
+  StorageFaultProfile p;
+  p.silent_torn_put_prob = 0.5;
+  a.set_profile(p);
+  b.set_profile(p);
+  // a: interleave ops through a latency-free profile; b: plain.
+  for (int i = 0; i < 200; ++i) {
+    a.put("k" + std::to_string(i), bytes_of("v"));
+    b.put("k" + std::to_string(i), bytes_of("v"));
+  }
+  EXPECT_EQ(a.fault_stats().torn_puts, b.fault_stats().torn_puts);
+  EXPECT_EQ(a.pending_delay_ns(), 0);
+}

@@ -26,6 +26,14 @@
 //                       EXPERIMENTS.md metrics index, so no counter can be
 //                       added without documenting which experiment reads it.
 //
+//   scenario-roundtrip  Every clause kind registered in the scenario DSL's
+//                       kScenarioClauseKinds array has a serialize/parse
+//                       round-trip test: an `ablint:scenario-roundtrip
+//                       <kind>` marker under tests/ (see scenario_test.cpp).
+//                       A marker naming an unregistered kind is stale and
+//                       flagged too. Guarantees "every failure reproduces
+//                       from one line" survives new clause kinds.
+//
 // Usage:
 //   ablint [--root <repo-root>]   # scan; file:line diagnostics; exit 1 on
 //                                 # any violation
@@ -240,6 +248,69 @@ std::vector<Diag> check_metrics_indexed(const std::vector<SourceFile>& src,
   return out;
 }
 
+// ---------------------------------------------------------------- rule 5
+
+// Walks the kScenarioClauseKinds array (the scenario DSL's registry of
+// clause keywords) and demands an `ablint:scenario-roundtrip <kind>`
+// round-trip test marker under tests/ for each entry; markers naming a
+// kind that is no longer registered are reported as stale.
+std::vector<Diag> check_scenario_roundtrip(
+    const std::vector<SourceFile>& src, const std::vector<SourceFile>& tests) {
+  static const std::regex kind_re(R"re("([a-z]+)")re");
+  static const std::regex marker_re(R"(ablint:scenario-roundtrip\s+([a-z]+))");
+
+  std::set<std::string> markers;
+  std::map<std::string, std::pair<std::string, std::size_t>> marker_sites;
+  for (const auto& f : tests) {
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      std::smatch m;
+      std::string rest = f.lines[i];
+      while (std::regex_search(rest, m, marker_re)) {
+        markers.insert(m[1].str());
+        marker_sites.emplace(m[1].str(), std::make_pair(f.path, i + 1));
+        rest = m.suffix();
+      }
+    }
+  }
+
+  std::vector<Diag> out;
+  std::set<std::string> kinds;
+  for (const auto& f : src) {
+    std::size_t open = f.lines.size();
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      if (f.lines[i].find("kScenarioClauseKinds[]") != std::string::npos) {
+        open = i;
+        break;
+      }
+    }
+    for (std::size_t j = open; j < f.lines.size(); ++j) {
+      const std::string code = strip_line_comment(f.lines[j]);
+      auto begin = std::sregex_iterator(code.begin(), code.end(), kind_re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string kind = (*it)[1].str();
+        kinds.insert(kind);
+        if (markers.count(kind) == 0) {
+          out.push_back({f.path, j + 1, "scenario-roundtrip",
+                         "clause kind '" + kind +
+                             "' has no 'ablint:scenario-roundtrip " + kind +
+                             "' round-trip test marker under tests/"});
+        }
+      }
+      if (code.find("};") != std::string::npos) break;
+    }
+  }
+  if (!kinds.empty()) {
+    for (const auto& [kind, site] : marker_sites) {
+      if (kinds.count(kind) == 0) {
+        out.push_back({site.first, site.second, "scenario-roundtrip",
+                       "stale marker: '" + kind +
+                           "' is not a registered clause kind"});
+      }
+    }
+  }
+  return out;
+}
+
 // ------------------------------------------------------------- file loading
 
 std::vector<std::string> split_lines(const std::string& text) {
@@ -376,6 +447,32 @@ int selftest() {
            check_raw_wire_access({clean, codec}), 0, "raw-wire-access");
   }
 
+  // scenario-roundtrip: seeded clause kind with no round-trip test.
+  {
+    const auto kinds =
+        mem_file("src/scenario/scenario.hpp",
+                 "constexpr const char* kScenarioClauseKinds[] = {\n"
+                 "    \"part\", \"flap\",\n"
+                 "};\n");
+    const auto partial = mem_file("tests/scenario_test.cpp",
+                                  "// ablint:scenario-roundtrip part\n");
+    const auto full = mem_file("tests/scenario_test.cpp",
+                               "// ablint:scenario-roundtrip part\n"
+                               "// ablint:scenario-roundtrip flap\n");
+    const auto stale = mem_file("tests/scenario_test.cpp",
+                                "// ablint:scenario-roundtrip part\n"
+                                "// ablint:scenario-roundtrip flap\n"
+                                "// ablint:scenario-roundtrip ghost\n");
+    expect("scenario-roundtrip fires on kind without round-trip test",
+           check_scenario_roundtrip({kinds}, {partial}), 1,
+           "scenario-roundtrip");
+    expect("scenario-roundtrip fires on stale marker",
+           check_scenario_roundtrip({kinds}, {stale}), 1,
+           "scenario-roundtrip");
+    expect("scenario-roundtrip clean when every kind has a marker",
+           check_scenario_roundtrip({kinds}, {full}), 0, "scenario-roundtrip");
+  }
+
   // metrics-indexed: seeded counter missing from the index.
   {
     const auto metrics = mem_file("src/core/atomic_broadcast.hpp",
@@ -443,5 +540,6 @@ int main(int argc, char** argv) {
   add(check_roundtrip_registered(src, tests));
   add(check_raw_wire_access(src));
   add(check_metrics_indexed(src, experiments));
+  add(check_scenario_roundtrip(src, tests));
   return report(diags);
 }
