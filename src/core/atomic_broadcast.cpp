@@ -281,9 +281,21 @@ void AtomicBroadcast::maybe_propose() {
     // deterministic batch order — and keep the bytes until unordered_ next
     // changes: consecutive rounds proposing the same backlog (common while
     // peers catch up) reuse the encoding instead of re-serializing it.
+    // A max_proposal_msgs cap takes the MsgId-ordered prefix; the capped
+    // encoding still depends only on unordered_'s contents, so the cache
+    // invalidation rule is unchanged.
+    std::size_t limit = unordered_.size();
+    if (options_.max_proposal_msgs != 0) {
+      limit = std::min(limit, options_.max_proposal_msgs);
+    }
     BufWriter w;
-    w.u32(checked_u32(unordered_.size()));
-    for (const auto& [id, m] : unordered_) m.encode(w);
+    w.u32(checked_u32(limit));
+    std::size_t taken = 0;
+    for (const auto& [id, m] : unordered_) {
+      if (taken == limit) break;
+      m.encode(w);
+      taken += 1;
+    }
     proposal_cache_ = std::move(w).take();
     proposal_cache_valid_ = true;
   } else {
@@ -658,7 +670,11 @@ void AtomicBroadcast::on_message(ProcessId from, const Wire& msg) {
   }
   if (msg.type == MsgType::kAbStateChunk) {
     auto s = decode_from_bytes<StateChunkMsg>(msg.payload);
-    if (options_.state_transfer && k_ + options_.delta < s.k) {
+    // Mirror of the sender's session gate (k_ > peer_k + Δ, chunks labeled
+    // k_ - 1): accept at k_ + Δ == s.k too, or a receiver lagging exactly
+    // Δ+1 rounds refuses the very transfer the sender insists on — and
+    // never hears round replays either, a livelock when the cluster idles.
+    if (options_.state_transfer && k_ + options_.delta <= s.k) {
       if (s.snapshot) {
         handle_snapshot_chunk(from, s);
       } else {

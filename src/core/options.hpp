@@ -97,6 +97,16 @@ struct Options {
   /// broadcast).
   bool log_unordered = false;
 
+  /// Upper bound on messages per Consensus proposal; 0 means a proposal
+  /// carries the whole Unordered backlog (the paper's unbounded batch).
+  /// Bounding the batch gives a round pipeline a finite per-group ordering
+  /// rate — the regime where multi-group sharding (E14) pays off — and
+  /// models real orderers, which cap batch size to bound decision latency
+  /// and proposal datagrams. Messages left out stay in Unordered and ride
+  /// a later round; per-sender seq order within one proposer is preserved
+  /// because the batch takes a prefix of the MsgId-ordered backlog.
+  std::size_t max_proposal_msgs = 0;
+
   // ---- §5.5: incremental logging -----------------------------------------
   /// When logging Unordered, write only the new message instead of the
   /// whole set (one small record per message, erased once ordered).

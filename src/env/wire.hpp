@@ -86,6 +86,9 @@ enum class MsgType : std::uint16_t {
   kQrWrite = 98,
   kQrWriteAck = 99,
   kQrStaleEpoch = 100,
+
+  // 112 is reserved for the multi-group envelope (kGroupEnvelope); the tag
+  // is defined in src/group/group_wire.hpp, its wire-tag home.
 };
 
 /// A datagram: a message-type tag plus an opaque serialized payload. The

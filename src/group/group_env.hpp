@@ -1,0 +1,102 @@
+// Per-group host environment facade.
+//
+// Each group's NodeStack runs against a GroupHostEnv instead of the real
+// host Env. The facade (a) renames the process id space — a stack addresses
+// its peers by member index into the group's row of the layout, not by
+// global node id; (b) wraps every outgoing datagram in a kGroupEnvelope so
+// the receiving node's demux can route it to the right stack; (c) scopes
+// stable storage under "g<gid>/" so N stacks share one physical log without
+// key collisions; and (d) tags every trace event with the group id so the
+// offline checker can split the merged per-node trace into per-group
+// sub-traces.
+//
+// The facade lives INSIDE the crash boundary (owned by the multi-group
+// NodeApp), so a crash destroys all groups' volatile state at once — one
+// node, one failure domain, exactly like the paper's single-group model
+// seen N times.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "env/env.hpp"
+#include "group/group_wire.hpp"
+#include "obs/trace.hpp"
+#include "storage/scoped_storage.hpp"
+
+namespace abcast::group {
+
+class GroupHostEnv final : public Env {
+ public:
+  /// `members` is the layout row for this group (global node ids in member
+  /// order); `parent` must outlive the facade and contain self() in the row.
+  GroupHostEnv(Env& parent, std::uint32_t gid, std::vector<ProcessId> members)
+      : parent_(parent),
+        gid_(gid),
+        members_(std::move(members)),
+        storage_(parent.storage(), "g" + std::to_string(gid)) {
+    for (std::uint32_t i = 0; i < members_.size(); ++i) {
+      if (members_[i] == parent_.self()) self_index_ = i;
+    }
+    ABCAST_CHECK_MSG(self_index_ != kNoProcess,
+                     "node does not serve this group");
+    if (auto* rec = parent_.tracer()) {
+      // Trace group tags are gid+1: tag 0 means "untagged host event" in
+      // the merged trace, so real group 0 must not collide with it.
+      tagged_.emplace(*rec, gid_ + 1);
+    }
+  }
+
+  std::uint32_t gid() const { return gid_; }
+  const std::vector<ProcessId>& members() const { return members_; }
+
+  ProcessId self() const override { return self_index_; }
+  std::uint32_t group_size() const override {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+  TimePoint now() const override { return parent_.now(); }
+
+  TimerId schedule_after(Duration delay, std::function<void()> fn) override {
+    return parent_.schedule_after(delay, std::move(fn));
+  }
+  void cancel_timer(TimerId id) override { parent_.cancel_timer(id); }
+
+  void send(ProcessId to, const Wire& msg) override {
+    ABCAST_CHECK(to < members_.size());
+    parent_.send(members_[to], wrap(msg));
+  }
+
+  /// Encodes the envelope ONCE; the per-member copies share the payload
+  /// (SharedBytes), preserving the copy-free multisend property.
+  void multisend(const Wire& msg) override {
+    const Wire wrapped = wrap(msg);
+    for (const ProcessId global : members_) parent_.send(global, wrapped);
+  }
+
+  StableStorage& storage() override { return storage_; }
+  Rng& rng() override { return parent_.rng(); }
+
+  obs::TraceRecorder* tracer() override {
+    return tagged_ ? &*tagged_ : nullptr;
+  }
+
+  /// Per-group stacks do NOT see the cluster registry: N stacks per node
+  /// would collide on (name, labels) bindings. Node-level aggregates are
+  /// bound by the owning NodeApp instead (GroupMetrics).
+  obs::MetricsRegistry* metrics_registry() override { return nullptr; }
+
+ private:
+  Wire wrap(const Wire& inner) const {
+    return make_wire(kGroupEnvelope, GroupEnvelopeMsg{gid_, inner});
+  }
+
+  Env& parent_;
+  const std::uint32_t gid_;
+  const std::vector<ProcessId> members_;
+  ProcessId self_index_ = kNoProcess;
+  ScopedStorage storage_;
+  std::optional<obs::GroupTaggedRecorder> tagged_;
+};
+
+}  // namespace abcast::group

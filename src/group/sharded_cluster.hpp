@@ -1,0 +1,85 @@
+// One-call sharded cluster setup: a Simulation running ShardedKvNodes.
+//
+// The single-group harness (harness::Cluster) wires a live Oracle between
+// the stack and the test; here the application IS the sink (ShardSink), so
+// safety is certified offline instead: per-group total order and
+// cross-shard atomicity by obs::check_sharded_trace over the merged trace,
+// convergence by shard digest equality across replicas. The cluster exposes
+// the same crash-tolerant submission and quiesce conveniences the scenario
+// runner needs.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "group/sharded_kv.hpp"
+#include "sim/simulation.hpp"
+
+namespace abcast::group {
+
+struct ShardedClusterConfig {
+  sim::SimConfig sim;
+  ShardedKvOptions node;
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterConfig config);
+
+  void start_all() { sim_.start_all(); }
+
+  sim::Simulation& sim() { return sim_; }
+  const ShardedClusterConfig& config() const { return config_; }
+  const GroupConfig& layout() const { return config_.node.layout; }
+
+  /// The sharded node of `p`, or nullptr while p is down.
+  ShardedKvNode* node(ProcessId p);
+
+  /// Crash-tolerant submission (mirrors Cluster::broadcast_may_crash): a
+  /// SimulatedCrash / StorageIoError inside the call is converted into the
+  /// usual host crash. The id is captured BEFORE the broadcast, so a
+  /// submission interrupted after its log op is still accounted for.
+  struct SubmitAttempt {
+    MsgId id{};
+    std::uint32_t group = 0;
+    bool completed = false;
+  };
+  SubmitAttempt submit_may_crash(ProcessId p, std::string_view key,
+                                 Bytes kv_command);
+
+  struct PairAttempt {
+    std::uint64_t pair_id = 0;
+    std::uint32_t group_a = 0;
+    std::uint32_t group_b = 0;
+    bool completed = false;  // both broadcasts returned
+  };
+  PairAttempt submit_pair_may_crash(ProcessId p, std::string_view key_a,
+                                    Bytes cmd_a, std::string_view key_b,
+                                    Bytes cmd_b);
+
+  /// True once `id` is delivered in group `g` at every node serving g.
+  bool delivered_everywhere(std::uint32_t g, const MsgId& id);
+
+  /// Runs until every node is up, every group's delivery sequences are
+  /// equally long with nothing unordered, and every shard has applied all
+  /// its holds (no pending cross-shard queue entries). Returns false on
+  /// timeout.
+  bool await_quiesced(Duration timeout = seconds(60));
+
+  /// KV digest of shard `g`, asserting equality across all serving nodes
+  /// (call only when quiesced).
+  std::uint64_t shard_digest(std::uint32_t g);
+
+  /// Sum over groups of that group's agreed-sequence length — the
+  /// aggregate ordering throughput numerator (call when quiesced).
+  std::uint64_t aggregate_delivered();
+
+  std::vector<obs::TraceEvent> collect_trace();
+  std::uint64_t trace_dropped();
+
+ private:
+  ShardedClusterConfig config_;
+  sim::Simulation sim_;
+};
+
+}  // namespace abcast::group

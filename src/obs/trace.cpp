@@ -18,7 +18,7 @@ struct KindName {
   const char* name;
 };
 
-constexpr std::array<KindName, 13> kKindNames = {{
+constexpr std::array<KindName, 14> kKindNames = {{
     {EventKind::kBroadcast, "broadcast"},
     {EventKind::kGossipSend, "gossip_send"},
     {EventKind::kGossipRecv, "gossip_recv"},
@@ -32,6 +32,7 @@ constexpr std::array<KindName, 13> kKindNames = {{
     {EventKind::kRecoverBegin, "recover_begin"},
     {EventKind::kRecoverEnd, "recover_end"},
     {EventKind::kLogLine, "log_line"},
+    {EventKind::kCrossShard, "cross_shard"},
 }};
 
 void append_escaped(std::string& out, std::string_view s) {
@@ -87,6 +88,12 @@ void TraceRecorder::set_clock(std::function<TimePoint()> clock) {
 
 void TraceRecorder::record(EventKind kind, TimePoint t, std::uint64_t k,
                            MsgId msg, std::uint64_t arg, std::string detail) {
+  record_grouped(0, kind, t, k, msg, arg, std::move(detail));
+}
+
+void TraceRecorder::record_grouped(std::uint32_t group, EventKind kind,
+                                   TimePoint t, std::uint64_t k, MsgId msg,
+                                   std::uint64_t arg, std::string detail) {
   TraceEvent e;
   e.kind = kind;
   e.node = node_;
@@ -94,6 +101,7 @@ void TraceRecorder::record(EventKind kind, TimePoint t, std::uint64_t k,
   e.k = k;
   e.msg = msg;
   e.arg = arg;
+  e.group = group;
   e.detail = std::move(detail);
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -154,6 +162,7 @@ std::string event_to_json(const TraceEvent& e) {
   out += to_string(e.kind);
   out += "\",\"k\":" + std::to_string(e.k);
   out += ",\"arg\":" + std::to_string(e.arg);
+  if (e.group != 0) out += ",\"group\":" + std::to_string(e.group);
   if (e.has_msg()) {
     out += ",\"msg\":\"" + std::to_string(e.msg.sender) + ":" +
            std::to_string(e.msg.seq) + "\"";
@@ -200,6 +209,8 @@ class LineParser {
         e.k = parse_uint();
       } else if (key == "arg") {
         e.arg = parse_uint();
+      } else if (key == "group") {
+        e.group = static_cast<std::uint32_t>(parse_uint());
       } else if (key == "kind") {
         const std::string name = parse_string();
         if (!event_kind_from_string(name, e.kind)) {

@@ -50,6 +50,9 @@ enum class EventKind : std::uint8_t {
   kRecoverBegin,   // recovery starting (host event)
   kRecoverEnd,     // recovery finished               arg=replayed rounds
   kLogLine,        // a kTrace-level log line routed here (detail=text)
+  kCrossShard,     // cross-shard pair op transition  arg=pair id,
+                   //                                 k=partner group,
+                   //                                 detail=hold|apply
 };
 
 const char* to_string(EventKind kind);
@@ -65,6 +68,7 @@ struct TraceEvent {
   std::uint64_t k = 0;    // round / consensus instance where meaningful
   MsgId msg{};            // sender == kNoProcess means "no message"
   std::uint64_t arg = 0;  // kind-specific (see EventKind comments)
+  std::uint32_t group = 0;  // AB group id in multi-group runs (0 otherwise)
   std::string detail;     // kind-specific (storage key, direction, text)
 
   bool has_msg() const { return msg.sender != kNoProcess; }
@@ -79,6 +83,7 @@ struct TraceEvent {
 class TraceRecorder {
  public:
   TraceRecorder(ProcessId node, std::size_t capacity);
+  virtual ~TraceRecorder() = default;
 
   ProcessId node() const { return node_; }
   std::size_t capacity() const { return capacity_; }
@@ -87,9 +92,17 @@ class TraceRecorder {
   /// (log_line()). Optional; unset means those events carry t = 0.
   void set_clock(std::function<TimePoint()> clock);
 
-  void record(EventKind kind, TimePoint t, std::uint64_t k = 0,
-              MsgId msg = MsgId{}, std::uint64_t arg = 0,
-              std::string detail = {});
+  /// Virtual so facades (GroupTaggedRecorder) can stamp extra context on
+  /// events flowing out of a protocol stack that only sees `TraceRecorder*`.
+  virtual void record(EventKind kind, TimePoint t, std::uint64_t k = 0,
+                      MsgId msg = MsgId{}, std::uint64_t arg = 0,
+                      std::string detail = {});
+
+  /// record() plus an explicit group tag (multi-group stacks; see
+  /// src/group/). Group 0 is the untagged default.
+  void record_grouped(std::uint32_t group, EventKind kind, TimePoint t,
+                      std::uint64_t k = 0, MsgId msg = MsgId{},
+                      std::uint64_t arg = 0, std::string detail = {});
 
   /// Records a kLogLine event (the Logger's kTrace routing target).
   void log_line(std::string line);
@@ -112,6 +125,30 @@ class TraceRecorder {
   std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
   std::size_t head_ = 0;          // next write slot once full
   std::uint64_t total_ = 0;       // lifetime events (seq source)
+};
+
+/// Facade that forwards every event to a parent recorder with a fixed group
+/// tag. One per (node, group) in a multi-group stack: the per-group
+/// NodeStack records through it unchanged, the parent ring keeps a single
+/// per-node seq order across all groups, and the offline checker can split
+/// the merged trace back into per-group sub-traces. The parent must outlive
+/// the facade.
+class GroupTaggedRecorder final : public TraceRecorder {
+ public:
+  GroupTaggedRecorder(TraceRecorder& parent, std::uint32_t group)
+      : TraceRecorder(parent.node(), 1), parent_(parent), group_(group) {}
+
+  std::uint32_t group() const { return group_; }
+
+  void record(EventKind kind, TimePoint t, std::uint64_t k = 0,
+              MsgId msg = MsgId{}, std::uint64_t arg = 0,
+              std::string detail = {}) override {
+    parent_.record_grouped(group_, kind, t, k, msg, arg, std::move(detail));
+  }
+
+ private:
+  TraceRecorder& parent_;
+  const std::uint32_t group_;
 };
 
 /// Serializes one event as a single JSON line (no trailing newline).

@@ -247,6 +247,7 @@ CheckReport check_trace(const std::vector<TraceEvent>& events,
         case EventKind::kGossipRecv:
         case EventKind::kPropose:
         case EventKind::kLogLine:
+        case EventKind::kCrossShard:  // audited by check_sharded_trace
           break;
       }
     }
@@ -323,6 +324,174 @@ CheckReport check_trace(const std::vector<TraceEvent>& events,
                 " although position " +
                 std::to_string(report.stats.max_position - 1) +
                 " was delivered"});
+      }
+    }
+  }
+
+  return report;
+}
+
+namespace {
+
+/// Parses a "g<gid>/" storage-scope prefix; returns true and strips it.
+bool split_group_scope(std::string& detail, std::uint32_t& gid) {
+  if (detail.size() < 3 || detail[0] != 'g' ||
+      !std::isdigit(static_cast<unsigned char>(detail[1]))) {
+    return false;
+  }
+  std::size_t i = 1;
+  std::uint64_t g = 0;
+  while (i < detail.size() &&
+         std::isdigit(static_cast<unsigned char>(detail[i]))) {
+    g = g * 10 + static_cast<std::uint64_t>(detail[i] - '0');
+    ++i;
+  }
+  if (i >= detail.size() || detail[i] != '/') return false;
+  gid = static_cast<std::uint32_t>(g);
+  detail.erase(0, i + 1);
+  return true;
+}
+
+bool is_lifecycle(EventKind kind) {
+  return kind == EventKind::kCrash || kind == EventKind::kRecoverBegin ||
+         kind == EventKind::kRecoverEnd;
+}
+
+}  // namespace
+
+CheckReport check_sharded_trace(const std::vector<TraceEvent>& events,
+                                std::uint32_t n_groups,
+                                const CheckOptions& options) {
+  CheckReport report;
+  report.stats.events = events.size();
+  if (n_groups == 0) n_groups = 1;
+
+  std::vector<std::vector<TraceEvent>> per_group(n_groups);
+  std::set<ProcessId> nodes;
+
+  // Cross-shard bookkeeping. Keyed by pair id; `holds`/`applies` collect
+  // (node, group); `owners` is the owner set announced by the events.
+  struct PairAudit {
+    std::set<std::pair<ProcessId, std::uint32_t>> holds;
+    std::set<std::pair<ProcessId, std::uint32_t>> applies;
+    std::set<std::uint32_t> owners;
+    bool owner_conflict = false;
+    const TraceEvent* sample = nullptr;
+  };
+  std::map<std::uint64_t, PairAudit> pairs;
+
+  for (const auto& e : events) {
+    nodes.insert(e.node);
+    if (e.group != 0) {
+      const std::uint32_t gid = e.group - 1;
+      if (gid >= n_groups) {
+        report.violations.push_back(Violation{
+            "GroupTag", e.node, e.seq,
+            "event tagged with group " + std::to_string(gid) +
+                " but the run has only " + std::to_string(n_groups) +
+                " groups"});
+        continue;
+      }
+      if (e.kind == EventKind::kCrossShard) {
+        PairAudit& audit = pairs[e.arg];
+        if (audit.sample == nullptr) {
+          audit.sample = &e;
+          audit.owners = {gid, static_cast<std::uint32_t>(e.k)};
+        } else if (audit.owners.count(gid) == 0 ||
+                   audit.owners.count(static_cast<std::uint32_t>(e.k)) == 0) {
+          audit.owner_conflict = true;
+        }
+        if (e.detail == "hold") {
+          audit.holds.emplace(e.node, gid);
+        } else if (e.detail == "apply") {
+          audit.applies.emplace(e.node, gid);
+        }
+        continue;  // not part of any single group's AB property audit
+      }
+      per_group[gid].push_back(e);
+      continue;
+    }
+    // Host-recorded events. Lifecycle transitions affect every group's
+    // incarnation accounting; log writes carry the group in their
+    // storage-scope prefix (ScopedStorage "g<gid>"), which must be stripped
+    // so the per-group LogMinimality matching ("cons/prop/", "ab/") works.
+    if (is_lifecycle(e.kind)) {
+      for (auto& bucket : per_group) bucket.push_back(e);
+      continue;
+    }
+    if (e.kind == EventKind::kLogWrite) {
+      TraceEvent routed = e;
+      std::uint32_t gid = 0;
+      if (split_group_scope(routed.detail, gid) && gid < n_groups) {
+        per_group[gid].push_back(std::move(routed));
+      } else {
+        report.warnings.push_back(
+            "GroupTag: log write '" + e.detail + "' on node " +
+            std::to_string(e.node) + " has no routable group scope");
+      }
+      continue;
+    }
+    // Other host events (log lines, host-level markers) have no bearing on
+    // any single group's order properties.
+  }
+
+  // Per-group property audit; diagnostics prefixed so a violation names the
+  // group whose order it breaks.
+  for (std::uint32_t g = 0; g < n_groups; ++g) {
+    CheckReport sub = check_trace(per_group[g], options);
+    const std::string prefix = "g" + std::to_string(g) + ": ";
+    for (auto& v : sub.violations) {
+      v.message = prefix + v.message;
+      report.violations.push_back(std::move(v));
+    }
+    for (auto& w : sub.warnings) {
+      report.warnings.push_back(prefix + std::move(w));
+    }
+    report.stats.broadcasts += sub.stats.broadcasts;
+    report.stats.delivers += sub.stats.delivers;
+    report.stats.unique_delivered += sub.stats.unique_delivered;
+    report.stats.decides += sub.stats.decides;
+    report.stats.log_writes += sub.stats.log_writes;
+    report.stats.max_position =
+        std::max(report.stats.max_position, sub.stats.max_position);
+  }
+  report.stats.nodes = nodes.size();
+
+  // CrossShard atomicity.
+  for (const auto& [pair_id, audit] : pairs) {
+    auto violate = [&](std::string message) {
+      report.violations.push_back(
+          Violation{"CrossShard", audit.sample->node, audit.sample->seq,
+                    "pair " + std::to_string(pair_id) + ": " +
+                        std::move(message)});
+    };
+    if (audit.owner_conflict) {
+      violate("events disagree on the pair's owning groups");
+      continue;
+    }
+    for (const auto& site : audit.applies) {
+      if (audit.holds.count(site) == 0) {
+        violate("effect applied at node " + std::to_string(site.first) +
+                " group " + std::to_string(site.second) +
+                " without a preceding hold there");
+      }
+    }
+    if (options.require_quiesced) {
+      for (const std::uint32_t owner : audit.owners) {
+        bool held = false;
+        bool applied = false;
+        for (const auto& site : audit.holds) held |= site.second == owner;
+        for (const auto& site : audit.applies) {
+          applied |= site.second == owner;
+        }
+        if (!held) {
+          violate("no hold ever delivered in owning group " +
+                  std::to_string(owner));
+        } else if (!applied) {
+          violate("held but never applied in owning group " +
+                  std::to_string(owner) +
+                  " — one-sided effect at quiescence");
+        }
       }
     }
   }

@@ -82,4 +82,24 @@ struct CheckReport {
 CheckReport check_trace(const std::vector<TraceEvent>& events,
                         const CheckOptions& options = {});
 
+/// Multi-group variant for sharded runs (DESIGN.md §13): splits the merged
+/// trace into per-group sub-traces by the event's group tag (tag g+1 marks
+/// group g; tag 0 is a host event), replays host lifecycle events
+/// (crash/recover) into every group, routes host-recorded log writes by
+/// their "g<gid>/" storage-scope prefix (stripped before matching), and
+/// runs check_trace on each group — every group must independently satisfy
+/// the paper's properties. Diagnostics are prefixed with "g<gid>".
+///
+/// On top, a CrossShard rule audits two-group atomic ops (kCrossShard
+/// events; arg = pair id, k = partner group, detail = hold|apply):
+///   * every apply at a (node, group) was preceded by a hold of the same
+///     pair there (effects only at the merge point);
+///   * all events of one pair agree on its owner-group set;
+///   * under require_quiesced, a pair with any hold or apply anywhere has
+///     holds AND applies in BOTH owning groups — both effects became
+///     visible, or (had every holder crashed unrecovered) neither would.
+CheckReport check_sharded_trace(const std::vector<TraceEvent>& events,
+                                std::uint32_t n_groups,
+                                const CheckOptions& options = {});
+
 }  // namespace abcast::obs

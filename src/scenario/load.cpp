@@ -1,6 +1,21 @@
 #include "scenario/load.hpp"
 
+#include <algorithm>
+
+#include "apps/kv_store.hpp"
+
 namespace abcast::scenario {
+
+std::string pick_key(Rng& rng, std::uint32_t keys, double hot) {
+  if (keys == 0) keys = 1;
+  std::uint32_t span = keys;
+  if (hot > 0.0 && rng.chance(hot)) {
+    span = std::max<std::uint32_t>(1, keys / 16);
+  }
+  const auto i = static_cast<std::uint32_t>(
+      rng.uniform(0, static_cast<std::int64_t>(span) - 1));
+  return "k" + std::to_string(i);
+}
 
 struct LoadDriver::State {
   harness::Cluster& cluster;
@@ -43,8 +58,16 @@ void LoadDriver::arrive(const std::shared_ptr<State>& st) {
   if (sim.host(node).is_up()) {
     st->stats.submitted += 1;
     const std::uint64_t crashes = sim.host(node).stats().crashes;
-    auto attempt = st->cluster.broadcast_may_crash(
-        node, Bytes(st->spec.bytes, static_cast<std::uint8_t>(client)));
+    // Keyed mode submits a real KV put (same workload shape as the sharded
+    // driver); raw mode keeps the original opaque payload and draws nothing
+    // extra from the RNG, so pre-existing scenario schedules are unchanged.
+    Bytes payload =
+        st->spec.keys != 0
+            ? apps::KvCommand::put(
+                  pick_key(st->rng, st->spec.keys, st->spec.hot),
+                  std::string(st->spec.bytes, 'v'))
+            : Bytes(st->spec.bytes, static_cast<std::uint8_t>(client));
+    auto attempt = st->cluster.broadcast_may_crash(node, std::move(payload));
     st->submissions.push_back(
         {attempt.id, node, attempt.completed, now, crashes});
     if (attempt.completed) st->stats.completed += 1;
@@ -55,6 +78,81 @@ void LoadDriver::arrive(const std::shared_ptr<State>& st) {
   // Open loop: the next arrival is scheduled regardless of what happened
   // to this one. Mean gap is the clause's; zero draws are bumped to 1ns so
   // the event loop always advances.
+  Duration gap = st->rng.exponential(st->spec.mean_gap);
+  if (gap <= 0) gap = 1;
+  sim.after(gap, [st] { arrive(st); });
+}
+
+// ---- sharded driver ------------------------------------------------------
+
+/// One arrival in eight is a cross-shard pair; keeps single-shard traffic
+/// dominant (the scaling story) while every run still commits pairs.
+constexpr double kPairFraction = 0.125;
+
+struct ShardedLoadDriver::State {
+  group::ShardedCluster& cluster;
+  LoadClause spec;
+  Rng rng;
+  LoadStats stats;
+  std::vector<ShardedSubmission> submissions;
+  std::uint64_t next_client = 0;
+
+  State(group::ShardedCluster& c, const LoadClause& s, Rng r)
+      : cluster(c), spec(s), rng(std::move(r)) {
+    if (spec.keys == 0) spec.keys = 64;  // keyless load would hit one group
+  }
+};
+
+ShardedLoadDriver::ShardedLoadDriver(group::ShardedCluster& cluster,
+                                     const LoadClause& spec, Rng rng)
+    : state_(std::make_shared<State>(cluster, spec, std::move(rng))) {}
+
+const LoadStats& ShardedLoadDriver::stats() const { return state_->stats; }
+
+const std::vector<ShardedSubmission>& ShardedLoadDriver::submissions() const {
+  return state_->submissions;
+}
+
+void ShardedLoadDriver::install() {
+  auto st = state_;
+  st->cluster.sim().at(st->spec.at, [st] { arrive(st); });
+}
+
+void ShardedLoadDriver::arrive(const std::shared_ptr<State>& st) {
+  auto& sim = st->cluster.sim();
+  const TimePoint now = sim.now();
+  if (now >= st->spec.at + st->spec.hold) return;
+
+  st->stats.arrivals += 1;
+  const std::uint64_t client = st->next_client++ % st->spec.clients;
+  const auto node = static_cast<ProcessId>(client % sim.n());
+
+  if (sim.host(node).is_up()) {
+    const std::string value(st->spec.bytes, 'v');
+    if (st->rng.chance(kPairFraction)) {
+      const std::string key_a = pick_key(st->rng, st->spec.keys,
+                                         st->spec.hot);
+      const std::string key_b = pick_key(st->rng, st->spec.keys,
+                                         st->spec.hot);
+      st->stats.pairs_submitted += 1;
+      auto attempt = st->cluster.submit_pair_may_crash(
+          node, key_a, apps::KvCommand::put(key_a, value), key_b,
+          apps::KvCommand::put(key_b, value));
+      if (attempt.completed) st->stats.pairs_completed += 1;
+    } else {
+      const std::string key = pick_key(st->rng, st->spec.keys, st->spec.hot);
+      st->stats.submitted += 1;
+      const std::uint64_t crashes = sim.host(node).stats().crashes;
+      auto attempt = st->cluster.submit_may_crash(
+          node, key, apps::KvCommand::put(key, value));
+      st->submissions.push_back({attempt.id, attempt.group, node,
+                                 attempt.completed, now, crashes});
+      if (attempt.completed) st->stats.completed += 1;
+    }
+  } else {
+    st->stats.rejected_down += 1;
+  }
+
   Duration gap = st->rng.exponential(st->spec.mean_gap);
   if (gap <= 0) gap = 1;
   sim.after(gap, [st] { arrive(st); });

@@ -17,9 +17,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "group/sharded_cluster.hpp"
 #include "harness/fixture.hpp"
 #include "scenario/scenario.hpp"
 
@@ -30,7 +32,15 @@ struct LoadStats {
   std::uint64_t submitted = 0;      // broadcast attempted (node was up)
   std::uint64_t completed = 0;      // broadcast returned without crashing
   std::uint64_t rejected_down = 0;  // home node down on arrival
+  std::uint64_t pairs_submitted = 0;  // cross-shard pair attempts (sharded)
+  std::uint64_t pairs_completed = 0;  // both broadcasts returned
 };
+
+/// Draws a key from the clause's key space: "k<i>" with i uniform over
+/// [0, keys), except a `hot` fraction of draws collapses onto the first
+/// max(1, keys/16) keys. Shared by the load drivers and bench_shards so a
+/// router-balance expectation in a test matches what the drivers submit.
+std::string pick_key(Rng& rng, std::uint32_t keys, double hot);
 
 /// One accepted submission, with the context needed to decide later
 /// whether its delivery may be demanded (see runner.cpp).
@@ -45,6 +55,11 @@ struct Submission {
 /// Installs one LoadClause onto a running cluster. The driver owns only a
 /// shared state block kept alive by its self-scheduling events, so it may
 /// be destroyed before the simulation finishes draining.
+///
+/// Keyed mode (spec.keys > 0) submits KvCommand puts against pick_key keys
+/// instead of raw payload bytes; over the single-group cluster this only
+/// changes the payload, but it keeps the workload identical to the sharded
+/// driver's for apples-to-apples scenario comparisons.
 class LoadDriver {
  public:
   /// `rng` must be forked deterministically from the scenario seed.
@@ -55,6 +70,40 @@ class LoadDriver {
 
   const LoadStats& stats() const;
   const std::vector<Submission>& submissions() const;
+
+ private:
+  struct State;
+  static void arrive(const std::shared_ptr<State>& st);
+
+  std::shared_ptr<State> state_;
+};
+
+/// One accepted sharded submission; `group` is where delivery must later
+/// be demanded (the runner checks delivered_everywhere(group, id)).
+struct ShardedSubmission {
+  MsgId id{};
+  std::uint32_t group = 0;
+  ProcessId node = 0;
+  bool completed = false;
+  TimePoint at = 0;
+  std::uint64_t node_crashes_at_submit = 0;
+};
+
+/// The multi-group twin of LoadDriver: arrivals are keyed KV puts routed
+/// by the submitting node's GroupRouter, and one arrival in eight is a
+/// cross-shard pair op (two puts, atomic across their owning shards) so
+/// hostile schedules always exercise the two-group commit. Raw-payload
+/// clauses (keys == 0) get a default 64-key space — a sharded run without
+/// keys would drive exactly one group.
+class ShardedLoadDriver {
+ public:
+  ShardedLoadDriver(group::ShardedCluster& cluster, const LoadClause& spec,
+                    Rng rng);
+
+  void install();
+
+  const LoadStats& stats() const;
+  const std::vector<ShardedSubmission>& submissions() const;
 
  private:
   struct State;

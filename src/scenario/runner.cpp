@@ -150,9 +150,176 @@ std::uint64_t fnv1a_order(const std::vector<MsgId>& order) {
   return h;
 }
 
+/// The multi-group twin of run_scenario's body (s.groups > 1). Same fault
+/// installation, horizon cleanup, and recovery pump over the raw sim; the
+/// audits differ because there is no live oracle between app and stack:
+/// delivery of required submissions is checked per owning group, replica
+/// convergence by shard digest equality, and safety by the strict
+/// check_sharded_trace (per-group order + cross-shard atomicity).
+RunResult run_sharded_scenario(const Scenario& s, const RunOptions& opts) {
+  RunResult result;
+
+  group::ShardedClusterConfig cfg;
+  cfg.sim.n = s.n;
+  cfg.sim.seed = s.seed * 2654435761ull + 1;
+  cfg.sim.trace_capacity = opts.trace_capacity;
+  cfg.sim.net.drop_prob = kDropProb;
+  cfg.sim.net.dup_prob = kDupProb;
+  cfg.node.layout = group::GroupConfig::uniform(s.n, s.groups);
+  cfg.node.stack.engine = s.engine;
+  if (s.alternative) {
+    cfg.node.stack.ab = core::Options::alternative();
+    cfg.node.stack.ab.checkpoint_period = millis(50);
+  }
+  if (s.digest_gossip) {
+    cfg.node.stack.ab.digest_gossip = true;
+    cfg.node.stack.ab.suppress_idle_gossip = true;
+  }
+  const std::size_t max_state_bytes = cfg.node.stack.ab.max_state_bytes;
+
+  group::ShardedCluster c(cfg);
+  auto* sim = &c.sim();
+
+  for (const auto& clause : s.clauses) {
+    if (const auto* sk = std::get_if<SkewClause>(&clause)) {
+      sim->set_timer_scale(sk->node, sk->scale);
+    }
+  }
+
+  c.start_all();
+
+  const Installer install{sim, s.horizon};
+  for (const auto& clause : s.clauses) std::visit(install, clause);
+
+  Rng load_rng(s.seed * 7919ull + 23);
+  std::vector<std::unique_ptr<ShardedLoadDriver>> drivers;
+  for (const auto& clause : s.clauses) {
+    if (const auto* ld = std::get_if<LoadClause>(&clause)) {
+      LoadClause clamped = *ld;
+      if (clamped.at >= s.horizon) continue;
+      if (clamped.at + clamped.hold > s.horizon) {
+        clamped.hold = s.horizon - clamped.at;
+      }
+      drivers.push_back(
+          std::make_unique<ShardedLoadDriver>(c, clamped, load_rng.fork()));
+      drivers.back()->install();
+    }
+  }
+
+  try {
+    sim->run_until(s.horizon);
+
+    // ---- horizon: stop injecting ---------------------------------------
+    sim->heal_partition();
+    for (ProcessId p = 0; p < sim->n(); ++p) {
+      sim->set_rx_delay_factor(p, 1.0);
+      sim->storage_faults(p).disarm_crash_point();
+      auto profile = sim->storage_faults(p).profile();
+      profile.op_delay_min_ns = 0;
+      profile.op_delay_max_ns = 0;
+      profile.stall_prob = 0.0;
+      profile.stall_ns = 0;
+      sim->storage_faults(p).set_profile(profile);
+    }
+    for (int tries = 0; tries < 200; ++tries) {
+      bool all_up = true;
+      for (ProcessId p = 0; p < sim->n(); ++p) {
+        if (!sim->host(p).is_up()) {
+          all_up = false;
+          sim->recover(p);
+        }
+      }
+      if (all_up) break;
+      sim->run_for(millis(10));
+    }
+    for (ProcessId p = 0; p < sim->n(); ++p) {
+      if (!sim->host(p).is_up()) {
+        result.failure = "recovery keeps dying at p" + std::to_string(p);
+        return result;
+      }
+    }
+
+    // ---- required deliveries -------------------------------------------
+    std::vector<std::pair<std::uint32_t, MsgId>> required;
+    for (const auto& d : drivers) {
+      result.load.arrivals += d->stats().arrivals;
+      result.load.submitted += d->stats().submitted;
+      result.load.completed += d->stats().completed;
+      result.load.rejected_down += d->stats().rejected_down;
+      result.load.pairs_submitted += d->stats().pairs_submitted;
+      result.load.pairs_completed += d->stats().pairs_completed;
+      for (const auto& sub : d->submissions()) {
+        if (!sub.completed) continue;
+        if (s.alternative ||
+            sim->host(sub.node).stats().crashes ==
+                sub.node_crashes_at_submit) {
+          required.emplace_back(sub.group, sub.id);
+        }
+      }
+    }
+    result.required = required.size();
+    // (Pair submissions carry no MsgId upward; their obligations are the
+    // per-group Validity of their broadcasts plus the CrossShard rule.)
+
+    result.delivered = sim->run_until_pred(
+        [&c, &required] {
+          for (const auto& [g, id] : required) {
+            if (!c.delivered_everywhere(g, id)) return false;
+          }
+          return true;
+        },
+        sim->now() + opts.drain_timeout);
+    if (!result.delivered) {
+      result.failure = "required submissions not delivered everywhere";
+      return result;
+    }
+    result.quiesced = c.await_quiesced(opts.drain_timeout);
+    if (!result.quiesced) {
+      result.failure = "cluster failed to quiesce";
+      return result;
+    }
+  } catch (const std::exception& e) {
+    result.failure = e.what();
+    return result;
+  }
+
+  result.delivered_global = c.aggregate_delivered();
+  // Convergence digest: fold each shard's replica-checked KV digest (the
+  // shard_digest call itself asserts replicas agree).
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint32_t g = 0; g < s.groups; ++g) {
+    h = (h ^ g) * 1099511628211ull;
+    h = (h ^ c.shard_digest(g)) * 1099511628211ull;
+  }
+  result.order_digest = h;
+  result.events_fired = sim->events_fired();
+
+  // ---- the oracle proper: strict offline sharded trace check ------------
+  if (c.trace_dropped() != 0) {
+    result.failure = "trace ring dropped events; raise trace_capacity";
+    return result;
+  }
+  obs::CheckOptions check;
+  check.require_quiesced = true;
+  check.basic_protocol = !s.alternative;
+  if (s.alternative) {
+    check.max_state_chunk_bytes = max_state_bytes;
+  }
+  const auto report =
+      obs::check_sharded_trace(c.collect_trace(), s.groups, check);
+  result.check_stats = report.stats;
+  result.checker_ok = report.ok();
+  if (!result.checker_ok) {
+    result.failure = obs::to_string(report.violations[0]);
+  }
+  return result;
+}
+
 }  // namespace
 
 RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
+  if (s.groups > 1) return run_sharded_scenario(s, opts);
+
   RunResult result;
 
   harness::ClusterConfig cfg;

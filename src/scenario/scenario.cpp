@@ -193,6 +193,18 @@ bool need(const std::vector<std::pair<std::string, std::string>>& kvs,
   return p.fail(kind + ": missing " + key);
 }
 
+/// Looks up an optional key; absence is not an error.
+bool opt(const std::vector<std::pair<std::string, std::string>>& kvs,
+         const std::string& key, std::string& out) {
+  for (const auto& [k, v] : kvs) {
+    if (k == key) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 const char* clause_kind(const Clause& c) {
@@ -219,6 +231,7 @@ std::string Scenario::serialize() const {
                                                               : "coord")
       << " variant=" << (alternative ? "alt" : "basic")
       << " gossip=" << (digest_gossip ? "digest" : "full");
+  if (groups != 1) out << " groups=" << groups;
   for (const auto& c : clauses) {
     out << ' ' << clause_kind(c) << '(';
     std::visit(
@@ -257,6 +270,11 @@ std::string Scenario::serialize() const {
             out << "at=" << fmt_dur(cl.at) << ",for=" << fmt_dur(cl.hold)
                 << ",gap=" << fmt_dur(cl.mean_gap)
                 << ",clients=" << cl.clients << ",bytes=" << cl.bytes;
+            // Keyed-mode fields only when active — older lines stay valid
+            // and generate_scenario's serializations are byte-identical.
+            if (cl.keys != 0) {
+              out << ",keys=" << cl.keys << ",hot=" << fmt_double(cl.hot);
+            }
           }
         },
         c);
@@ -311,6 +329,8 @@ std::optional<Scenario> Scenario::parse(const std::string& line,
         if (val == "digest") s.digest_gossip = true;
         else if (val == "full") s.digest_gossip = false;
         else ok = p.fail("bad gossip mode '" + val + "'");
+      } else if (key == "groups") {
+        ok = p.u32(val, s.groups);
       } else {
         ok = p.fail("unknown field '" + key + "'");
       }
@@ -404,6 +424,8 @@ std::optional<Scenario> Scenario::parse(const std::string& line,
           !need(kvs, kind, "bytes", v5, p) || !p.u32(v5, cl.bytes)) {
         return bail();
       }
+      if (opt(kvs, "keys", v6) && !p.u32(v6, cl.keys)) return bail();
+      if (opt(kvs, "hot", v7) && !p.real(v7, cl.hot)) return bail();
       s.clauses.emplace_back(cl);
     } else {
       p.fail("unknown clause kind '" + kind + "'");
@@ -414,6 +436,10 @@ std::optional<Scenario> Scenario::parse(const std::string& line,
   // Structural sanity: every referenced process must exist.
   if (s.n == 0) {
     p.fail("n must be >= 1");
+    return bail();
+  }
+  if (s.groups == 0) {
+    p.fail("groups must be >= 1");
     return bail();
   }
   for (const auto& c : s.clauses) {
@@ -440,7 +466,8 @@ std::optional<Scenario> Scenario::parse(const std::string& line,
           } else if constexpr (std::is_same_v<T, StormClause>) {
             return cl.node < s.n && cl.ops_ahead >= 1;
           } else {  // LoadClause
-            return cl.mean_gap > 0 && cl.clients >= 1;
+            return cl.mean_gap > 0 && cl.clients >= 1 && cl.hot >= 0.0 &&
+                   cl.hot <= 1.0;
           }
           return true;
         },

@@ -123,17 +123,26 @@ struct StormClause {
   bool operator==(const StormClause&) const = default;
 };
 
-/// load(at,for,gap,clients,bytes): open-loop load — arrivals with
-/// exponential inter-arrival time (mean `gap`) from `clients` simulated
-/// client sessions, each submission a `bytes`-byte A-broadcast at the
-/// session's home node. Open-loop: arrivals do not wait for completions,
-/// so a stalled cluster accumulates latency instead of hiding it.
+/// load(at,for,gap,clients,bytes[,keys,hot]): open-loop load — arrivals
+/// with exponential inter-arrival time (mean `gap`) from `clients`
+/// simulated client sessions, each submission a `bytes`-byte A-broadcast
+/// at the session's home node. Open-loop: arrivals do not wait for
+/// completions, so a stalled cluster accumulates latency instead of
+/// hiding it.
+///
+/// Keyed mode (keys > 0): each arrival is a KV put against a key drawn
+/// from a `keys`-sized key space (see pick_key); in a sharded run the key
+/// hash picks the owning group, so this is what exercises the router's
+/// distribution. `hot` in [0,1] sends that fraction of arrivals to a
+/// small hot subset (skewed workloads collapse onto few shards).
 struct LoadClause {
   Duration at = 0;
   Duration hold = 0;
   Duration mean_gap = millis(5);
   std::uint32_t clients = 1;
   std::uint32_t bytes = 16;
+  std::uint32_t keys = 0;  // 0 = raw payload mode (no keyed routing)
+  double hot = 0.0;
   bool operator==(const LoadClause&) const = default;
 };
 
@@ -151,6 +160,11 @@ struct Scenario {
   ConsensusKind engine = ConsensusKind::kPaxos;
   bool alternative = false;   // Options::alternative() vs Options::basic()
   bool digest_gossip = false;
+  /// Groups in a sharded run (DESIGN.md §13). 1 = the classic single-group
+  /// stack; >1 runs ShardedKvNodes over a uniform layout and audits with
+  /// check_sharded_trace. Serialized only when not 1, so every existing
+  /// scenario line (and generate_scenario's output) is unchanged.
+  std::uint32_t groups = 1;
   std::vector<Clause> clauses;
 
   bool operator==(const Scenario&) const = default;

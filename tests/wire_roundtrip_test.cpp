@@ -1,10 +1,12 @@
-// Round-trip tests for every wire-message layout in core/ and consensus/.
+// Round-trip tests for every wire-message layout in core/, consensus/, and
+// group/.
 //
 // Each encode-bearing payload struct must round-trip byte-exactly through
 // its own encode/decode pair, and each must be REGISTERED here with an
 // `ablint:roundtrip <Name>` marker — tools/ablint cross-references the
-// markers against the encode() definitions in src/core + src/consensus and
-// fails the build when a payload has no registered round-trip test.
+// markers against the encode() definitions in src/core + src/consensus +
+// src/group and fails the build when a payload has no registered
+// round-trip test.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +17,7 @@
 #include "core/app_msg.hpp"
 #include "core/gossip_wire.hpp"
 #include "core/vector_clock.hpp"
+#include "group/group_wire.hpp"
 
 namespace abcast {
 namespace {
@@ -171,6 +174,25 @@ TEST(WireRoundtrip, NewEstimateMsg) {
 
 // ablint:roundtrip RoundMsg
 TEST(WireRoundtrip, RoundMsg) { expect_roundtrip(RoundMsg{11, 4}); }
+
+// ablint:roundtrip GroupEnvelopeMsg
+TEST(WireRoundtrip, GroupEnvelopeMsg) {
+  group::GroupEnvelopeMsg env;
+  env.group = 3;
+  env.inner = Wire{MsgType::kAbGossip, Bytes{1, 2, 3, 4}};
+  expect_roundtrip(env);
+  expect_roundtrip(group::GroupEnvelopeMsg{});
+}
+
+// ablint:roundtrip ShardCommandMsg
+TEST(WireRoundtrip, ShardCommandMsg) {
+  expect_roundtrip(group::ShardCommandMsg::plain({9, 8, 7}));
+  expect_roundtrip(group::ShardCommandMsg::pair(
+      0xdeadbeefull, 1, {1, 1}, 4, {2, 2, 2}));
+  Bytes enc = encode_to_bytes(group::ShardCommandMsg::plain({1}));
+  enc[0] = 0x7f;  // unknown kind byte must raise CodecError, not UB
+  EXPECT_THROW(decode_from_bytes<group::ShardCommandMsg>(enc), CodecError);
+}
 
 // A malformed buffer must raise CodecError, never read out of bounds.
 TEST(WireRoundtrip, TruncatedBufferThrows) {

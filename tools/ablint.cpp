@@ -4,16 +4,19 @@
 // conventions that keep the hand-rolled wire protocol honest, the ones only
 // this repository can define:
 //
-//   wire-tag-home       Every kAb*/kCs* wire-tag enumerator is DEFINED
-//                       exactly once, and only inside a `*wire.hpp` or
-//                       `keys.hpp` home. A second definition site is how the
-//                       duplicated kAbGossipDigest encoder bug (PR 3 review)
-//                       happened; uses are free, layouts are not.
+//   wire-tag-home       Every kAb*/kCs*/kGroup* wire-tag enumerator is
+//                       DEFINED exactly once, and only inside a `*wire.hpp`
+//                       or `keys.hpp` home; kGroup* tags are further pinned
+//                       to the group layer's own `group_wire.hpp`. A second
+//                       definition site is how the duplicated kAbGossipDigest
+//                       encoder bug (PR 3 review) happened; uses are free,
+//                       layouts are not.
 //
 //   roundtrip-registered  Every payload struct with a `void encode(BufWriter`
-//                       member in src/core or src/consensus has a registered
-//                       round-trip test: a `ablint:roundtrip <Name>` marker
-//                       somewhere under tests/ (see wire_roundtrip_test.cpp).
+//                       member in src/core, src/consensus or src/group has a
+//                       registered round-trip test: a `ablint:roundtrip
+//                       <Name>` marker somewhere under tests/ (see
+//                       wire_roundtrip_test.cpp).
 //
 //   raw-wire-access     No `memcpy(` / `reinterpret_cast<` in src/ outside
 //                       common/codec.{hpp,cpp} — every wire buffer goes
@@ -21,8 +24,9 @@
 //                       Casting to `sockaddr*` is exempt (kernel socket API,
 //                       not a wire buffer).
 //
-//   metrics-indexed     Every AbMetrics / ConsensusMetrics counter field is
-//                       referenced (as ab_<field> / cons_<field>) in the
+//   metrics-indexed     Every AbMetrics / ConsensusMetrics / GroupMetrics
+//                       counter field is referenced (as ab_<field> /
+//                       cons_<field> / ab_group_<field>) in the
 //                       EXPERIMENTS.md metrics index, so no counter can be
 //                       added without documenting which experiment reads it.
 //
@@ -96,11 +100,12 @@ bool is_wire_home(const std::string& path) {
 
 // ---------------------------------------------------------------- rule 1
 
-// A *definition* is `kAb…` / `kCs…` followed by a single `=` (enumerator or
-// constant initializer). `==`, `!=`, `<=`, `>=` comparisons and bare uses
-// never match.
+// A *definition* is `kAb…` / `kCs…` / `kGroup…` followed by a single `=`
+// (enumerator or constant initializer). `==`, `!=`, `<=`, `>=` comparisons
+// and bare uses never match.
 std::vector<Diag> check_wire_tag_homes(const std::vector<SourceFile>& src) {
-  static const std::regex def_re(R"((\bk(?:Ab|Cs)[A-Za-z0-9_]*)\s*=(?![=]))");
+  static const std::regex def_re(
+      R"((\bk(?:Ab|Cs|Group)[A-Za-z0-9_]*)\s*=(?![=]))");
   std::vector<Diag> out;
   std::map<std::string, std::vector<std::pair<std::string, std::size_t>>> defs;
   for (const auto& f : src) {
@@ -110,7 +115,15 @@ std::vector<Diag> check_wire_tag_homes(const std::vector<SourceFile>& src) {
       for (auto it = begin; it != std::sregex_iterator(); ++it) {
         const std::string tag = (*it)[1].str();
         defs[tag].emplace_back(f.path, i + 1);
-        if (!is_wire_home(f.path)) {
+        if (tag.rfind("kGroup", 0) == 0) {
+          // Group-layer tags get a single pinned home, not just any wire
+          // home: the envelope layout must stay next to its demux.
+          if (basename_of(f.path) != "group_wire.hpp") {
+            out.push_back({f.path, i + 1, "wire-tag-home",
+                           "wire tag '" + tag +
+                               "' defined outside its group_wire.hpp home"});
+          }
+        } else if (!is_wire_home(f.path)) {
           out.push_back({f.path, i + 1, "wire-tag-home",
                          "wire tag '" + tag +
                              "' defined outside a *wire.hpp/keys.hpp home"});
@@ -134,7 +147,8 @@ std::vector<Diag> check_wire_tag_homes(const std::vector<SourceFile>& src) {
 
 bool in_roundtrip_scope(const std::string& path) {
   return path.rfind("src/core/", 0) == 0 ||
-         path.rfind("src/consensus/", 0) == 0;
+         path.rfind("src/consensus/", 0) == 0 ||
+         path.rfind("src/group/", 0) == 0;
 }
 
 std::vector<Diag> check_roundtrip_registered(
@@ -159,7 +173,11 @@ std::vector<Diag> check_roundtrip_registered(
     if (!in_roundtrip_scope(f.path)) continue;
     std::string current_type;  // last struct/class name seen in this file
     for (std::size_t i = 0; i < f.lines.size(); ++i) {
-      const std::string code = strip_line_comment(f.lines[i]);
+      std::string code = strip_line_comment(f.lines[i]);
+      // `enum class Kind` must not shadow the enclosing payload struct:
+      // scoped-enum heads are not types with their own encode().
+      static const std::regex enum_head_re(R"(\benum\s+(?:class|struct)\b)");
+      code = std::regex_replace(code, enum_head_re, "enum");
       std::smatch m;
       if (std::regex_search(code, m, type_re)) current_type = m[1].str();
       if (code.find("void encode(BufWriter") == std::string::npos) continue;
@@ -216,7 +234,9 @@ struct MetricsStruct {
 std::vector<Diag> check_metrics_indexed(const std::vector<SourceFile>& src,
                                         const SourceFile& experiments) {
   static const std::vector<MetricsStruct> kStructs = {
-      {"AbMetrics", "ab_"}, {"ConsensusMetrics", "cons_"}};
+      {"AbMetrics", "ab_"},
+      {"ConsensusMetrics", "cons_"},
+      {"GroupMetrics", "ab_group_"}};
   static const std::regex field_re(
       R"(^\s*(?:RelaxedU64|std::uint64_t)\s+([A-Za-z_]\w*)\s*(?:=\s*0\s*)?;)");
 
@@ -412,6 +432,19 @@ int selftest() {
            check_wire_tag_homes({home, rogue}), 3, "wire-tag-home");
     expect("wire-tag-home clean on single in-home definition",
            check_wire_tag_homes({home}), 0, "wire-tag-home");
+
+    // kGroup* tags are pinned to group_wire.hpp specifically: a generic
+    // wire home is not enough.
+    const auto group_home =
+        mem_file("src/group/group_wire.hpp",
+                 "inline constexpr MsgType kGroupEnvelope =\n"
+                 "    static_cast<MsgType>(112);\n");
+    const auto group_rogue = mem_file(
+        "src/env/wire.hpp", "  kGroupEnvelope = 112,  // wrong home\n");
+    expect("wire-tag-home clean on kGroup tag in group_wire.hpp",
+           check_wire_tag_homes({group_home}), 0, "wire-tag-home");
+    expect("wire-tag-home fires on kGroup tag outside group_wire.hpp",
+           check_wire_tag_homes({group_rogue}), 1, "wire-tag-home");
   }
 
   // roundtrip-registered: seeded encode() with no marker.
@@ -427,6 +460,34 @@ int selftest() {
            "roundtrip-registered");
     expect("roundtrip-registered clean once marker exists",
            check_roundtrip_registered({payload}, {with_marker}), 0,
+           "roundtrip-registered");
+
+    // src/group payloads are in scope too.
+    const auto group_payload = mem_file("src/group/group_wire.hpp",
+                                        "struct GroupEnvelopeMsg {\n"
+                                        "  void encode(BufWriter& w) const;\n"
+                                        "};\n");
+    const auto group_marker =
+        mem_file("tests/wire_roundtrip_test.cpp",
+                 "// ablint:roundtrip GroupEnvelopeMsg\n");
+    expect("roundtrip-registered fires on unregistered src/group payload",
+           check_roundtrip_registered({group_payload}, {}), 1,
+           "roundtrip-registered");
+    expect("roundtrip-registered clean on registered src/group payload",
+           check_roundtrip_registered({group_payload}, {group_marker}), 0,
+           "roundtrip-registered");
+
+    // A nested scoped enum must not shadow the payload struct's name.
+    const auto enum_payload = mem_file(
+        "src/group/group_wire.hpp",
+        "struct ShardCommandMsg {\n"
+        "  enum class Kind : std::uint8_t { kPlain = 1, kPairOp = 2 };\n"
+        "  void encode(BufWriter& w) const;\n"
+        "};\n");
+    const auto enum_marker = mem_file(
+        "tests/wire_roundtrip_test.cpp", "// ablint:roundtrip ShardCommandMsg\n");
+    expect("roundtrip-registered attributes encode past a nested enum class",
+           check_roundtrip_registered({enum_payload}, {enum_marker}), 0,
            "roundtrip-registered");
   }
 
@@ -488,6 +549,20 @@ int selftest() {
            check_metrics_indexed({metrics}, index), 1, "metrics-indexed");
     expect("metrics-indexed clean when every counter is indexed",
            check_metrics_indexed({metrics}, full_index), 0, "metrics-indexed");
+
+    // GroupMetrics counters are indexed under the ab_group_ prefix.
+    const auto group_metrics = mem_file("src/group/multi_group_node.hpp",
+                                        "struct GroupMetrics {\n"
+                                        "  RelaxedU64 pair_holds;\n"
+                                        "};\n");
+    const auto group_index =
+        mem_file("EXPERIMENTS.md", "| E14 | `ab_group_pair_holds` |\n");
+    expect("metrics-indexed fires on unindexed group counter",
+           check_metrics_indexed({group_metrics}, index), 1,
+           "metrics-indexed");
+    expect("metrics-indexed clean on indexed group counter",
+           check_metrics_indexed({group_metrics}, group_index), 0,
+           "metrics-indexed");
   }
 
   if (failures == 0) {

@@ -5,13 +5,16 @@
 // Termination-progress, uniform Total Order) plus log-minimality. See
 // src/obs/trace_check.hpp for the exact property definitions.
 //
-//   tracecheck [--basic] [--strict] [-q] trace1.jsonl [trace2.jsonl ...]
+//   tracecheck [--basic] [--strict] [--groups N] [-q] trace1.jsonl [...]
 //   tracecheck --selftest
 //
 //   --basic     the run used Options::basic(): any AB-layer log write is a
 //               violation (Fig. 2 logs only the consensus proposal)
 //   --strict    the trace ends quiesced: enable the strict Termination and
 //               Validity checks
+//   --groups N  the trace comes from an N-group sharded run: audit each
+//               group's order independently and the cross-shard atomicity
+//               rule (check_sharded_trace)
 //   -q          quiet: print only violations, no stats
 //   --selftest  fabricate traces with known violations and verify the
 //               checker detects them (used by CI)
@@ -19,6 +22,7 @@
 //
 // Exit code: 0 = all properties hold, 1 = violations found, 2 = bad usage
 // or unparsable input.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -40,7 +44,8 @@ using obs::TraceEvent;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: tracecheck [--basic] [--strict] [-q] FILE...\n"
+               "usage: tracecheck [--basic] [--strict] [--groups N] [-q] "
+               "FILE...\n"
                "       tracecheck --selftest\n");
   return 2;
 }
@@ -71,6 +76,47 @@ std::vector<TraceEvent> fabricate_clean() {
   t.push_back(make_event(EventKind::kDeliver, 0, 3, 0, m1, 1));
   t.push_back(make_event(EventKind::kDeliver, 1, 0, 0, m0, 0));
   t.push_back(make_event(EventKind::kDeliver, 1, 1, 0, m1, 1));
+  return t;
+}
+
+TraceEvent make_grouped(EventKind kind, ProcessId node, std::uint64_t seq,
+                        std::uint32_t group_tag, std::uint64_t k, MsgId msg,
+                        std::uint64_t arg, std::string detail = {}) {
+  TraceEvent e = make_event(kind, node, seq, k, msg, arg, std::move(detail));
+  e.group = group_tag;
+  return e;
+}
+
+/// A clean 2-group, 2-node sharded trace: one plain message per group plus
+/// one cross-shard pair (id 77) held and applied by both nodes in both
+/// owning groups. Group tags are gid+1; kCrossShard k is the partner gid.
+std::vector<TraceEvent> fabricate_sharded() {
+  const MsgId a0{0, 1}, pair0{0, 2};  // group 0 wire namespace
+  const MsgId b0{1, 1}, pair1{0, 9};  // group 1 wire namespace
+  std::vector<TraceEvent> t;
+  t.push_back(make_grouped(EventKind::kBroadcast, 0, 0, 1, 0, a0, 0));
+  t.push_back(make_grouped(EventKind::kBroadcast, 0, 1, 1, 0, pair0, 0));
+  t.push_back(make_grouped(EventKind::kBroadcast, 1, 0, 2, 0, b0, 0));
+  t.push_back(make_grouped(EventKind::kBroadcast, 0, 2, 2, 0, pair1, 0));
+  t.push_back(make_grouped(EventKind::kDeliver, 0, 3, 1, 0, a0, 0));
+  t.push_back(make_grouped(EventKind::kDeliver, 0, 4, 1, 0, pair0, 1));
+  t.push_back(make_grouped(EventKind::kDeliver, 1, 1, 1, 0, a0, 0));
+  t.push_back(make_grouped(EventKind::kDeliver, 1, 2, 1, 0, pair0, 1));
+  t.push_back(make_grouped(EventKind::kDeliver, 0, 5, 2, 0, b0, 0));
+  t.push_back(make_grouped(EventKind::kDeliver, 0, 6, 2, 0, pair1, 1));
+  t.push_back(make_grouped(EventKind::kDeliver, 1, 3, 2, 0, b0, 0));
+  t.push_back(make_grouped(EventKind::kDeliver, 1, 4, 2, 0, pair1, 1));
+  for (ProcessId n = 0; n < 2; ++n) {
+    const std::uint64_t base = n == 0 ? 7 : 5;
+    t.push_back(make_grouped(EventKind::kCrossShard, n, base, 1, 1, MsgId{},
+                             77, "hold"));
+    t.push_back(make_grouped(EventKind::kCrossShard, n, base + 1, 2, 0,
+                             MsgId{}, 77, "hold"));
+    t.push_back(make_grouped(EventKind::kCrossShard, n, base + 2, 1, 1,
+                             MsgId{}, 77, "apply"));
+    t.push_back(make_grouped(EventKind::kCrossShard, n, base + 3, 2, 0,
+                             MsgId{}, 77, "apply"));
+  }
   return t;
 }
 
@@ -128,6 +174,50 @@ int selftest() {
                  "round-tripped violation must still be detected");
   }
 
+  // Sharded-trace fixtures (check_sharded_trace): two groups, one
+  // cross-shard pair held and applied in both.
+  ok &= expect(obs::check_sharded_trace(fabricate_sharded(), 2, strict).ok(),
+               "clean sharded trace must pass");
+  {  // per-group order still audited: swap group 1's deliveries on node 1
+    auto t = fabricate_sharded();
+    std::swap(t[10].msg, t[11].msg);
+    ok &= expect(!obs::check_sharded_trace(t, 2, strict).ok(),
+                 "per-group order violation must be detected");
+  }
+  {  // one-sided pair: group 1 never applies its half -> CrossShard
+    auto t = fabricate_sharded();
+    t.erase(std::remove_if(t.begin(), t.end(),
+                           [](const TraceEvent& e) {
+                             return e.kind == EventKind::kCrossShard &&
+                                    e.group == 2 && e.detail == "apply";
+                           }),
+            t.end());
+    ok &= expect(!obs::check_sharded_trace(t, 2, strict).ok(),
+                 "one-sided cross-shard apply must be detected");
+  }
+  {  // apply without a hold at that (node, group) -> CrossShard
+    auto t = fabricate_sharded();
+    t.erase(std::remove_if(t.begin(), t.end(),
+                           [](const TraceEvent& e) {
+                             return e.kind == EventKind::kCrossShard &&
+                                    e.node == 0 && e.group == 1 &&
+                                    e.detail == "hold";
+                           }),
+            t.end());
+    ok &= expect(!obs::check_sharded_trace(t, 2, strict).ok(),
+                 "apply without local hold must be detected");
+  }
+  {  // JSONL round-trip preserves the group tag
+    auto t = fabricate_sharded();
+    std::stringstream ss;
+    for (const auto& e : t) ss << obs::event_to_json(e) << '\n';
+    const auto parsed = obs::parse_trace_jsonl(ss);
+    ok &= expect(parsed.size() == t.size(),
+                 "sharded round-trip preserves events");
+    ok &= expect(obs::check_sharded_trace(parsed, 2, strict).ok(),
+                 "round-tripped sharded trace must still pass");
+  }
+
   if (ok) std::puts("selftest OK");
   return ok ? 0 : 1;
 }
@@ -137,6 +227,7 @@ int selftest() {
 int main(int argc, char** argv) {
   CheckOptions options;
   bool quiet = false;
+  std::uint32_t groups = 0;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -144,6 +235,14 @@ int main(int argc, char** argv) {
       options.basic_protocol = true;
     } else if (arg == "--strict") {
       options.require_quiesced = true;
+    } else if (arg == "--groups") {
+      if (++i >= argc) return usage();
+      try {
+        groups = static_cast<std::uint32_t>(std::stoul(argv[i]));
+      } catch (const std::exception&) {
+        return usage();
+      }
+      if (groups == 0) return usage();
     } else if (arg == "-q") {
       quiet = true;
     } else if (arg == "--selftest") {
@@ -180,7 +279,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  const CheckReport report = obs::check_trace(merged, options);
+  const CheckReport report =
+      groups != 0 ? obs::check_sharded_trace(merged, groups, options)
+                  : obs::check_trace(merged, options);
   if (!quiet) {
     std::printf("%zu events, %zu nodes, %zu broadcasts, %zu delivers "
                 "(%zu unique), positions [0, %llu)\n",
