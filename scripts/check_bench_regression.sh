@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Guards bench_throughput against perf regressions in CI.
+#
+#   scripts/check_bench_regression.sh [RESULTS_DIR]
+#
+# Compares the freshly produced BENCH_throughput.json (quick-mode run in
+# RESULTS_DIR, default ./bench-results) against the committed full-run
+# baseline at the repo root:
+#
+#   * the open-loop batch-1 row must not fall below ABCAST_BENCH_MIN_RATIO
+#     (default 0.5) of the committed batch-1 throughput — the slack absorbs
+#     the quick sweep's smaller totals, not a protocol regression;
+#   * the window sweep must still show pipelining: the window=16 cell must
+#     beat the window=1 cell by at least 2x (the full-run gap is ~10x).
+#
+# Virtual-time measurements are deterministic per seed, so a breach is a
+# real behavior change, not machine noise.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+RESULTS="${1:-${ROOT}/bench-results}"
+BASELINE="${ROOT}/BENCH_throughput.json"
+CURRENT="${RESULTS}/BENCH_throughput.json"
+RATIO="${ABCAST_BENCH_MIN_RATIO:-0.5}"
+
+if [[ ! -f "${BASELINE}" ]]; then
+  echo "missing committed baseline: ${BASELINE}" >&2
+  exit 2
+fi
+if [[ ! -f "${CURRENT}" ]]; then
+  echo "missing bench results: ${CURRENT} (run scripts/run_bench.sh first)" >&2
+  exit 2
+fi
+
+python3 - "${BASELINE}" "${CURRENT}" "${RATIO}" <<'PYEOF'
+import json
+import sys
+
+baseline_path, current_path = sys.argv[1], sys.argv[2]
+ratio = float(sys.argv[3])
+
+
+def rows(path):
+    with open(path) as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+
+def throughput(path, experiment, **match):
+    for r in rows(path):
+        if r.get("experiment") == experiment and all(
+            r.get(k) == v for k, v in match.items()
+        ):
+            return r["throughput_per_sec"]
+    return None
+
+
+base = throughput(baseline_path, "throughput_batch_sweep", batch=1)
+cur = throughput(current_path, "throughput_batch_sweep", batch=1)
+if base is None:
+    sys.exit(f"{baseline_path}: no throughput_batch_sweep batch=1 row")
+if cur is None:
+    sys.exit(f"{current_path}: no throughput_batch_sweep batch=1 row")
+floor = base * ratio
+print(
+    f"batch-1 open-loop: current {cur:.1f} msgs/s, committed {base:.1f}, "
+    f"floor {floor:.1f} (ratio {ratio})"
+)
+if cur < floor:
+    sys.exit(
+        f"REGRESSION: batch-1 throughput {cur:.1f} msgs/s fell below "
+        f"{ratio} x committed baseline ({base:.1f} msgs/s)"
+    )
+
+w1 = throughput(current_path, "throughput_window_sweep", window=1)
+w16 = throughput(current_path, "throughput_window_sweep", window=16)
+if w1 is None or w16 is None:
+    sys.exit(f"{current_path}: window sweep rows (window=1, window=16) missing")
+print(f"window sweep: alpha=1 {w1:.1f} msgs/s, alpha=16 {w16:.1f} msgs/s")
+if w16 < 2.0 * w1:
+    sys.exit(
+        f"REGRESSION: pipelining gain collapsed (alpha=16 {w16:.1f} < "
+        f"2 x alpha=1 {w1:.1f})"
+    )
+print("bench regression guard: OK")
+PYEOF

@@ -39,6 +39,7 @@ void EngineBase::bind_metrics() {
   metrics_group_.bind("cons_corrupt_records", labels,
                       &metrics_.corrupt_records);
   metrics_group_.bind("cons_quarantined", labels, &metrics_.quarantined);
+  inflight_gauge_ = &registry->gauge("cons_inflight", labels);
 }
 
 void EngineBase::start(bool recovering) {
@@ -96,6 +97,10 @@ void EngineBase::start(bool recovering) {
     }
   }
   metrics_.proposals = proposals_.size();
+  for (const auto& [k, v] : proposals_) {
+    (void)v;
+    if (!has_decision(k)) adjust_inflight(1);
+  }
 
   engine_start(recovering);
 
@@ -123,6 +128,7 @@ void EngineBase::propose(InstanceId k, const Bytes& value) {
     trace(obs::EventKind::kPropose, k, crc32(value));
     it = proposals_.emplace(k, value).first;
     metrics_.proposals += 1;
+    if (!has_decision(k)) adjust_inflight(1);
   }
   if (!has_decision(k)) {
     engine_propose(k, it->second);
@@ -150,6 +156,7 @@ void EngineBase::learn_decision(InstanceId k, const Bytes& value,
   trace(obs::EventKind::kDecide, k, crc32(value),
         i_decided ? "local" : "learned");
   decisions_.emplace(k, value);
+  if (proposals_.count(k) != 0) adjust_inflight(-1);
   quarantined_.erase(k);  // the outcome is known; amnesia no longer matters
   if (i_decided) {
     metrics_.decided_local += 1;
@@ -234,6 +241,10 @@ void EngineBase::truncate_below(InstanceId k) {
   // which still covers every erase performed so far — intact.
   trunc_mark_.store(k);
   low_water_ = k;
+  for (auto it = proposals_.begin(); it != proposals_.end() && it->first < k;
+       ++it) {
+    if (!has_decision(it->first)) adjust_inflight(-1);
+  }
   auto erase_below = [this, k](std::map<InstanceId, Bytes>& m,
                                const char* prefix) {
     for (auto it = m.begin(); it != m.end() && it->first < k;) {

@@ -22,6 +22,8 @@ class EngineBase : public ConsensusService {
   std::optional<Bytes> decision(InstanceId k) final;
   void set_decided_callback(DecidedCallback cb) final { decided_cb_ = std::move(cb); }
   bool proposed(InstanceId k) const final { return proposals_.count(k) != 0; }
+  bool decided(InstanceId k) const final { return decisions_.count(k) != 0; }
+  const Bytes* proposal_of(InstanceId k) const final;
   void offer_decisions(ProcessId to, InstanceId from_k,
                        std::uint32_t max) final;
   void truncate_below(InstanceId k) final;
@@ -72,7 +74,6 @@ class EngineBase : public ConsensusService {
 
   bool has_decision(InstanceId k) const { return decisions_.count(k) != 0; }
   const std::map<InstanceId, Bytes>& proposals() const { return proposals_; }
-  const Bytes* proposal_of(InstanceId k) const;
 
   /// Amnesia containment. An engine that finds its private acceptor record
   /// for instance `k` torn or corrupt must not participate in `k` again:
@@ -114,6 +115,12 @@ class EngineBase : public ConsensusService {
   };
 
   void tick();
+  /// Tracks the proposed-but-undecided instance count and mirrors it into
+  /// the cons_inflight gauge — the live consensus pipelining depth.
+  void adjust_inflight(std::int64_t by) {
+    inflight_ += by;
+    if (inflight_gauge_ != nullptr) inflight_gauge_->set(inflight_);
+  }
 
   /// Dual-slot low-water mark: a torn write while truncating loses at most
   /// the latest advance, and since records are only erased AFTER the mark
@@ -129,6 +136,8 @@ class EngineBase : public ConsensusService {
   std::map<InstanceId, Retransmit> retransmit_;
   std::set<InstanceId> quarantined_;
   InstanceId low_water_ = 0;
+  std::int64_t inflight_ = 0;             // proposed ∧ undecided instances
+  obs::Gauge* inflight_gauge_ = nullptr;  // registry-owned; may be null
   obs::TraceRecorder* tracer_ = nullptr;  // host-owned; may be null
   bool started_ = false;
   // Declared last: unbinds metrics_ from the registry before it is

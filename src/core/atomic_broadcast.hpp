@@ -24,6 +24,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "common/relaxed_counter.hpp"
@@ -63,6 +64,11 @@ struct AbMetrics {
   RelaxedU64 delta_rejected;
   RelaxedU64 gossip_suppressed;  // idle ticks skipped (satellite 1)
   RelaxedU64 proposal_cache_hits;  // proposals reusing cached encoding
+  /// Proposals fired by an event (broadcast arrival, batch full, decide,
+  /// gossip) rather than the periodic timer leg of the pipelined proposer.
+  /// With pipeline_window == 1 every proposal is event-triggered (the timer
+  /// leg exists only for partial window slots).
+  RelaxedU64 proposals_event_triggered;
   /// Catch-up sessions opened toward lagging peers (§5.3). One session
   /// streams the whole missing state in bounded chunks; the chunk counters
   /// below account the individual datagrams.
@@ -208,7 +214,22 @@ class AtomicBroadcast {
   }
   void checkpoint_tick();
   void take_checkpoint();
-  void maybe_propose();
+  /// What caused a proposal attempt. Timer-triggered attempts (the gossip
+  /// tick) may open partial batches for window slots beyond k_; every other
+  /// call site is an event (broadcast, decide, gossip arrival).
+  enum class Trigger { kEvent, kTimer };
+  void maybe_propose(Trigger trigger = Trigger::kEvent);
+  /// One window slot j > k_ of the pipelined proposer: builds the
+  /// prefix-closed cumulative batch (all in-flight messages ride along
+  /// cap-free; new messages fill up to max_proposal_msgs) and proposes it.
+  void propose_window_slot(std::uint64_t j, Trigger trigger);
+  /// Rebuilds slot_new_/inflight_ after recovery from the per-instance
+  /// proposal logs of still-undecided rounds ≥ k_.
+  void rebuild_window_state();
+  /// Drops window bookkeeping for slots the commit gate has passed
+  /// (slot < k_): their first-proposed messages become plain "new" again if
+  /// a foreign value won the round.
+  void gc_window_slots();
   /// Applies every locally-known decision starting at k_, then proposes.
   void drain();
   void apply_batch(const Bytes& value);
@@ -285,9 +306,22 @@ class AtomicBroadcast {
   std::uint32_t idle_ticks_ = 0;
   Bytes proposal_cache_;         // encoded unordered_ batch (valid flag below)
   bool proposal_cache_valid_ = false;
+  /// Messages first proposed by each still-relevant window slot (keys are
+  /// InstanceIds ≥ k_ once gc_window_slots ran). When slot j's round decides
+  /// or is skipped, its entries leave inflight_ — if a foreign value won,
+  /// they are re-proposable as new content. Empty when pipeline_window == 1.
+  std::map<std::uint64_t, std::vector<MsgId>> slot_new_;
+  /// Union of slot_new_ over undecided slots: messages some in-flight
+  /// proposal already carries. They ride along in later slots' batches
+  /// (cap-exempt, keeping every proposal prefix-closed per sender) but do
+  /// not count as new content that justifies opening another slot.
+  std::set<MsgId> inflight_;
   AbMetrics metrics_;
   obs::TraceRecorder* tracer_ = nullptr;      // host-owned; may be null
   obs::Histogram* batch_size_hist_ = nullptr;  // registry-owned; may be null
+  /// Depth of the decided-but-undeliverable park buffer, observed whenever
+  /// a decide lands above the contiguous prefix (log2 buckets).
+  obs::Histogram* commit_gap_hist_ = nullptr;  // registry-owned; may be null
   bool started_ = false;
   // Declared last: unbinds the metrics_ fields from the registry before the
   // slots above are destroyed (crash destroys this object, not the registry).

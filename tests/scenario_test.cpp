@@ -119,6 +119,15 @@ TEST(ScenarioRoundtrip, Load) {
   expect_roundtrip(s);
 }
 
+TEST(ScenarioRoundtrip, Win) {
+  // ablint:scenario-roundtrip win
+  Scenario s = base_scenario();
+  s.clauses.push_back(WinClause{4});
+  expect_roundtrip(s);
+  s.clauses.push_back(WinClause{64});
+  expect_roundtrip(s);
+}
+
 TEST(ScenarioRoundtrip, EveryKindInOneLine) {
   Scenario s = base_scenario();
   s.clauses.push_back(PartitionClause{millis(100), millis(200), {0},
@@ -132,6 +141,7 @@ TEST(ScenarioRoundtrip, EveryKindInOneLine) {
   s.clauses.push_back(
       StormClause{millis(500), 2, 4, CrashPhase::kAfterOp, 2, millis(70)});
   s.clauses.push_back(LoadClause{millis(0), millis(800), millis(5), 64, 16});
+  s.clauses.push_back(WinClause{4});
   ASSERT_EQ(s.clauses.size(), std::size(kScenarioClauseKinds));
   expect_roundtrip(s);
 }
@@ -153,6 +163,7 @@ TEST(ScenarioParse, RejectsMalformedLines) {
       "scn1 n=3 skew(node=0,scale=0)",             // scale must be > 0
       "scn1 n=3 storm(at=1ms,node=0,ops=0,phase=torn,times=1,gap=2ms)",
       "scn1 n=3 load(at=0s,for=1s,gap=0s,clients=4,bytes=8)",  // gap = 0
+      "scn1 win(a=0)",                             // window must be >= 1
       "scn1 gray(at=1ms,for=2ms,node=0",           // unterminated clause
       "scn1 n=0",                                  // empty cluster
   };
