@@ -1,0 +1,18 @@
+// Seed-corpus generation from the registered round-trip encoders
+// (DESIGN.md §15). Every message with an `ablint:roundtrip` registration is
+// serialized through its own encode() into fuzz/corpus-style seed files, so
+// the fuzzers start from structurally valid inputs instead of random bytes.
+// Shared by the gen_corpus tool (scripts/run_fuzz.sh) and
+// tests/fuzz_regression_test.cpp (which replays the seeds under ctest).
+#pragma once
+
+#include <string>
+
+namespace abcast::fuzz {
+
+/// Writes one subdirectory per fuzz family under `root` (created if
+/// needed), each holding selector-prefixed seed inputs for every message
+/// the family dispatches. Returns the number of seed files written.
+int write_seed_corpora(const std::string& root);
+
+}  // namespace abcast::fuzz

@@ -1,0 +1,51 @@
+// Fuzz family: the Atomic Broadcast layer's datagram payloads — full-set
+// gossip and chunked state transfer (src/core/ab_wire.hpp), digest gossip
+// (src/core/gossip_wire.hpp), the AppMsg element layout they all embed, and
+// the batch encoding consensus values carry (src/core/app_msg.hpp).
+#include "core/ab_wire.hpp"
+#include "core/app_msg.hpp"
+#include "core/gossip_wire.hpp"
+#include "fuzz/fuzz_util.hpp"
+
+namespace abcast::fuzz {
+
+namespace {
+
+// decode_batch is a free-function codec (the value inside every consensus
+// proposal/decision); give it the same reject-or-fixpoint treatment.
+void batch_roundtrip(const Bytes& in) {
+  std::vector<core::AppMsg> batch;
+  try {
+    batch = core::decode_batch(in);
+  } catch (const CodecError&) {
+    return;
+  }
+  const Bytes enc = core::encode_batch(batch);
+  const auto again = core::decode_batch(enc);
+  ABCAST_FUZZ_REQUIRE("ab_wire", core::encode_batch(again) == enc);
+}
+
+}  // namespace
+
+int fuzz_ab_wire(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const Bytes payload = tail(data, size);
+  switch (data[0] % 5) {
+    // ablint:fuzz GossipMsg
+    case 0: decode_then_reencode<core::GossipMsg>("ab_wire", payload); break;
+    // ablint:fuzz StateChunkMsg
+    case 1:
+      decode_then_reencode<core::StateChunkMsg>("ab_wire", payload);
+      break;
+    // ablint:fuzz DigestMsg
+    case 2: decode_then_reencode<core::DigestMsg>("ab_wire", payload); break;
+    // ablint:fuzz AppMsg
+    case 3: decode_then_reencode<core::AppMsg>("ab_wire", payload); break;
+    default: batch_roundtrip(payload); break;
+  }
+  return 0;
+}
+
+}  // namespace abcast::fuzz
+
+ABCAST_FUZZ_TARGET(fuzz_ab_wire)

@@ -1,0 +1,79 @@
+// Fuzz family: application-layer codecs — the KV command and snapshot, the
+// deferred-update certification request and snapshot, and the quorum voting
+// configuration (src/apps/). Commands and configs arrive through Atomic
+// Broadcast delivery, snapshots through checkpoint installation; both paths
+// carry peer-supplied bytes, and the state machines promise deterministic
+// rejection (never a crash) so replicas stay identical.
+//
+// These codecs are not wire-tag payloads, so they carry no ablint:fuzz
+// markers — rule 6 maps markers 1:1 onto ablint:roundtrip registrations.
+#include "apps/deferred_update.hpp"
+#include "apps/kv_store.hpp"
+#include "apps/quorum.hpp"
+#include "fuzz/fuzz_util.hpp"
+
+namespace abcast::fuzz {
+
+namespace {
+
+// StateMachine::restore takes raw snapshot bytes; acceptance means a
+// re-snapshot must be a fixpoint (restore(snapshot()) is lossless).
+template <typename Sm>
+void restore_roundtrip(const char* what, const Bytes& in) {
+  Sm sm;
+  try {
+    sm.restore(in);
+  } catch (const CodecError&) {
+    return;
+  }
+  const Bytes snap = sm.snapshot();
+  Sm again;
+  again.restore(snap);
+  if (again.snapshot() != snap) die("app_checkpoint", what);
+}
+
+// apply() must NEVER throw: delivery is below the CodecError boundary on
+// some paths (RSM replay), and the deterministic-rejection contract says a
+// malformed command increments a counter instead.
+template <typename Sm>
+void apply_never_throws(const Bytes& in) {
+  Sm sm;
+  try {
+    sm.apply(in);
+  } catch (...) {
+    die("app_checkpoint", "apply() threw on a delivered command");
+  }
+}
+
+}  // namespace
+
+int fuzz_app_checkpoint(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const Bytes payload = tail(data, size);
+  switch (data[0] % 7) {
+    case 0:
+      decode_then_reencode<apps::KvCommand>("app_checkpoint", payload);
+      break;
+    case 1: apply_never_throws<apps::KvStore>(payload); break;
+    case 2:
+      restore_roundtrip<apps::KvStore>("KvStore snapshot not a fixpoint",
+                                       payload);
+      break;
+    case 3:
+      decode_then_reencode<apps::CertRequest>("app_checkpoint", payload);
+      break;
+    case 4: apply_never_throws<apps::DeferredUpdateDb>(payload); break;
+    case 5:
+      restore_roundtrip<apps::DeferredUpdateDb>(
+          "DeferredUpdateDb snapshot not a fixpoint", payload);
+      break;
+    default:
+      decode_then_reencode<apps::QuorumConfig>("app_checkpoint", payload);
+      break;
+  }
+  return 0;
+}
+
+}  // namespace abcast::fuzz
+
+ABCAST_FUZZ_TARGET(fuzz_app_checkpoint)

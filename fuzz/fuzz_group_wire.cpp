@@ -1,0 +1,29 @@
+// Fuzz family: the multi-group layer's envelope and the sharded-KV command
+// riding inside ordered streams (src/group/group_wire.hpp). The envelope is
+// the one tag the demux unwraps straight off the UDP socket, so its decoder
+// faces raw datagrams.
+#include "group/group_wire.hpp"
+
+#include "fuzz/fuzz_util.hpp"
+
+namespace abcast::fuzz {
+
+int fuzz_group_wire(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const Bytes payload = tail(data, size);
+  switch (data[0] % 2) {
+    // ablint:fuzz GroupEnvelopeMsg
+    case 0:
+      decode_then_reencode<group::GroupEnvelopeMsg>("group_wire", payload);
+      break;
+    // ablint:fuzz ShardCommandMsg
+    default:
+      decode_then_reencode<group::ShardCommandMsg>("group_wire", payload);
+      break;
+  }
+  return 0;
+}
+
+}  // namespace abcast::fuzz
+
+ABCAST_FUZZ_TARGET(fuzz_group_wire)

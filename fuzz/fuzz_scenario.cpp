@@ -1,0 +1,37 @@
+// Fuzz family: the scenario DSL's one-line grammar (src/scenario/). A
+// scenario line is the repro artifact printed by failing sweeps and fed
+// back on the command line, so the parser faces arbitrary text. Contract:
+// parse() either rejects with a non-empty reason or accepts a scenario
+// whose serialize()/parse() round-trip is an exact fixpoint — the property
+// ablint rule 5 pins per clause kind, extended here to every input the
+// mutator can invent.
+#include <string>
+
+#include "fuzz/fuzz_util.hpp"
+#include "scenario/scenario.hpp"
+
+namespace abcast::fuzz {
+
+int fuzz_scenario(const std::uint8_t* data, std::size_t size) {
+  // Whole input is the candidate line (no selector: one grammar).
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  const auto s = scenario::Scenario::parse(line, &error);
+  if (!s) {
+    ABCAST_FUZZ_REQUIRE("scenario", !error.empty());
+    return 0;
+  }
+  const std::string canon = s->serialize();
+  std::string error2;
+  const auto again = scenario::Scenario::parse(canon, &error2);
+  if (!again) die("scenario", "serialize() of an accepted scenario rejected");
+  if (!(*again == *s)) {
+    die("scenario", "serialize()/parse() round-trip changed the scenario");
+  }
+  ABCAST_FUZZ_REQUIRE("scenario", again->serialize() == canon);
+  return 0;
+}
+
+}  // namespace abcast::fuzz
+
+ABCAST_FUZZ_TARGET(fuzz_scenario)

@@ -1,0 +1,37 @@
+// Fuzz family: tracecheck's JSONL ingest (src/obs/trace.cpp). tools/
+// tracecheck reads externally supplied trace files; a malformed line must
+// surface as a CodecError diagnostic (the tool prints it per file), never a
+// crash or UB. Accepted traces must re-emit through event_to_json and parse
+// back to the same emission — the lossless-export property trace merging
+// depends on.
+#include <sstream>
+#include <vector>
+
+#include "fuzz/fuzz_util.hpp"
+#include "obs/trace.hpp"
+
+namespace abcast::fuzz {
+
+int fuzz_tracecheck(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in(std::string(reinterpret_cast<const char*>(data),
+                                    size));
+  std::vector<obs::TraceEvent> events;
+  try {
+    events = obs::parse_trace_jsonl(in);
+  } catch (const CodecError&) {
+    return 0;  // the diagnostic path tracecheck reports per file
+  }
+  for (const auto& e : events) {
+    const std::string json = obs::event_to_json(e);
+    std::istringstream one(json);
+    const auto back = obs::parse_trace_jsonl(one);  // must not throw
+    ABCAST_FUZZ_REQUIRE("tracecheck", back.size() == 1);
+    ABCAST_FUZZ_REQUIRE("tracecheck",
+                        obs::event_to_json(back.front()) == json);
+  }
+  return 0;
+}
+
+}  // namespace abcast::fuzz
+
+ABCAST_FUZZ_TARGET(fuzz_tracecheck)

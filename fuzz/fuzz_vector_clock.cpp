@@ -1,0 +1,35 @@
+// Fuzz family: the checkpoint data model — per-incarnation vector clocks,
+// application checkpoints, and the AgreedLog prefix representation
+// (src/core/vector_clock.hpp, src/core/agreed_log.hpp). These decoders face
+// both hostile datagrams (StateChunkMsg snapshot bytes decode into an
+// AppCheckpoint) and torn stable-storage records (the (k, Agreed)
+// checkpoint record), so they must reject, never allocate absurdly.
+#include "core/agreed_log.hpp"
+#include "core/vector_clock.hpp"
+#include "fuzz/fuzz_util.hpp"
+
+namespace abcast::fuzz {
+
+int fuzz_vector_clock(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const Bytes payload = tail(data, size);
+  switch (data[0] % 3) {
+    // ablint:fuzz VectorClock
+    case 0:
+      decode_then_reencode<core::VectorClock>("vector_clock", payload);
+      break;
+    // ablint:fuzz AppCheckpoint
+    case 1:
+      decode_then_reencode<core::AppCheckpoint>("vector_clock", payload);
+      break;
+    // ablint:fuzz AgreedLog
+    default:
+      decode_then_reencode<core::AgreedLog>("vector_clock", payload);
+      break;
+  }
+  return 0;
+}
+
+}  // namespace abcast::fuzz
+
+ABCAST_FUZZ_TARGET(fuzz_vector_clock)

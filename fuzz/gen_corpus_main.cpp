@@ -1,0 +1,16 @@
+// gen_corpus: writes the auto-generated seed corpora (one subdirectory per
+// fuzz family) into the given directory. Driven by scripts/run_fuzz.sh;
+// tests/fuzz_regression_test generates the same seeds in-process.
+#include <cstdio>
+
+#include "fuzz/corpus_gen.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: gen_corpus <out_dir>\n");
+    return 2;
+  }
+  const int n = abcast::fuzz::write_seed_corpora(argv[1]);
+  std::fprintf(stderr, "gen_corpus: wrote %d seeds under %s\n", n, argv[1]);
+  return 0;
+}

@@ -1,0 +1,268 @@
+// Fallback fuzzing driver: main() for harness executables built WITHOUT
+// libFuzzer (plain gcc/g++ plus asan+ubsan). Links against one family's
+// abcast_fuzz_entry (emitted by ABCAST_FUZZ_TARGET under ABCAST_FUZZ_ENTRY).
+//
+// Two modes:
+//   fuzz_<family> FILE...              replay inputs (regression / triage)
+//   fuzz_<family> --corpus DIR [opts]  seed-corpus mutation fuzzing
+//
+// The mutation loop is corpus-driven but coverage-blind: it draws a seed,
+// applies a burst of structure-agnostic mutations (bit flips, interesting
+// values, truncate/extend, block splice), and feeds the result to the
+// harness. Before every execution the input is written to
+// <artifacts>/cur_input, so a sanitizer abort (which never unwinds) leaves
+// the crasher on disk; an escaping C++ exception is caught here, saved as
+// <artifacts>/crash-<fnv1a>, and exits nonzero. run_fuzz.sh prefers real
+// libFuzzer when clang is available and falls back to this driver so the
+// asan+ubsan budget always runs somewhere.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int abcast_fuzz_entry(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+using Input = std::vector<std::uint8_t>;
+
+Input read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return Input(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file(const fs::path& p, const Input& data) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+std::uint64_t fnv1a(const Input& data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+struct Options {
+  std::string corpus;
+  std::string artifacts = ".";
+  std::uint64_t iters = 0;   // 0 = run until the time budget expires
+  double seconds = 10.0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 1 << 16;
+  std::vector<std::string> replay;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE...                         replay inputs\n"
+               "       %s --corpus DIR [--seconds S] [--iters N]\n"
+               "          [--seed X] [--max-len N] [--artifacts DIR]\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--corpus") {
+      const char* v = value();
+      if (!v) return false;
+      opt.corpus = v;
+    } else if (arg == "--artifacts") {
+      const char* v = value();
+      if (!v) return false;
+      opt.artifacts = v;
+    } else if (arg == "--iters") {
+      const char* v = value();
+      if (!v) return false;
+      opt.iters = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--seconds") {
+      const char* v = value();
+      if (!v) return false;
+      opt.seconds = std::strtod(v, nullptr);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-len") {
+      const char* v = value();
+      if (!v) return false;
+      opt.max_len = std::strtoull(v, nullptr, 10);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      opt.replay.push_back(arg);
+    }
+  }
+  return !opt.replay.empty() || !opt.corpus.empty();
+}
+
+class Mutator {
+ public:
+  Mutator(std::uint64_t seed, std::size_t max_len)
+      : rng_(seed), max_len_(max_len) {}
+
+  Input mutate(const Input& base, const std::vector<Input>& pool) {
+    Input out = base;
+    const int burst = 1 + static_cast<int>(rng_() % 8);
+    for (int i = 0; i < burst; ++i) apply_one(out, pool);
+    if (out.size() > max_len_) out.resize(max_len_);
+    return out;
+  }
+
+ private:
+  std::size_t pick_pos(const Input& v) {
+    return v.empty() ? 0 : static_cast<std::size_t>(rng_() % v.size());
+  }
+
+  void apply_one(Input& v, const std::vector<Input>& pool) {
+    switch (rng_() % 8) {
+      case 0:  // bit flip
+        if (!v.empty()) v[pick_pos(v)] ^= static_cast<std::uint8_t>(
+            1u << (rng_() % 8));
+        break;
+      case 1:  // random byte
+        if (!v.empty()) v[pick_pos(v)] = static_cast<std::uint8_t>(rng_());
+        break;
+      case 2: {  // interesting little-endian value over 1/2/4 bytes
+        static constexpr std::uint32_t kInteresting[] = {
+            0, 1, 0x7F, 0x80, 0xFF, 0x100, 0x7FFF, 0x8000, 0xFFFF,
+            0x10000, 0x7FFFFFFF, 0x80000000u, 0xFFFFFFFFu};
+        const std::uint32_t val =
+            kInteresting[rng_() % (sizeof(kInteresting) /
+                                   sizeof(kInteresting[0]))];
+        const std::size_t width = std::size_t{1} << (rng_() % 3);  // 1,2,4
+        if (v.size() < width) break;
+        const std::size_t at =
+            static_cast<std::size_t>(rng_() % (v.size() - width + 1));
+        for (std::size_t b = 0; b < width; ++b) {
+          v[at + b] = static_cast<std::uint8_t>(val >> (8 * b));
+        }
+        break;
+      }
+      case 3:  // truncate
+        if (!v.empty()) v.resize(pick_pos(v));
+        break;
+      case 4: {  // insert a small random run
+        const std::size_t n = 1 + rng_() % 8;
+        const std::size_t at = v.empty() ? 0 : pick_pos(v);
+        Input run(n);
+        for (auto& b : run) b = static_cast<std::uint8_t>(rng_());
+        v.insert(v.begin() + static_cast<std::ptrdiff_t>(at), run.begin(),
+                 run.end());
+        break;
+      }
+      case 5: {  // erase a small run
+        if (v.empty()) break;
+        const std::size_t at = pick_pos(v);
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng_() % 8, v.size() - at);
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(at),
+                v.begin() + static_cast<std::ptrdiff_t>(at + n));
+        break;
+      }
+      case 6: {  // duplicate a block in place
+        if (v.empty()) break;
+        const std::size_t at = pick_pos(v);
+        const std::size_t n =
+            std::min<std::size_t>(1 + rng_() % 16, v.size() - at);
+        Input block(v.begin() + static_cast<std::ptrdiff_t>(at),
+                    v.begin() + static_cast<std::ptrdiff_t>(at + n));
+        v.insert(v.begin() + static_cast<std::ptrdiff_t>(at), block.begin(),
+                 block.end());
+        break;
+      }
+      default: {  // splice with another pool member
+        if (pool.empty()) break;
+        const Input& other = pool[rng_() % pool.size()];
+        if (other.empty()) break;
+        const std::size_t cut_a = v.empty() ? 0 : pick_pos(v);
+        const std::size_t cut_b = pick_pos(other);
+        v.resize(cut_a);
+        v.insert(v.end(), other.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                 other.end());
+        break;
+      }
+    }
+  }
+
+  std::mt19937_64 rng_;
+  std::size_t max_len_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage(argv[0]);
+
+  if (!opt.replay.empty()) {
+    for (const auto& file : opt.replay) {
+      const Input in = read_file(file);
+      abcast_fuzz_entry(in.data(), in.size());  // a crash aborts right here
+      std::fprintf(stderr, "ok  %s (%zu bytes)\n", file.c_str(), in.size());
+    }
+    return 0;
+  }
+
+  std::vector<Input> pool;
+  for (const auto& entry : fs::directory_iterator(opt.corpus)) {
+    if (entry.is_regular_file()) pool.push_back(read_file(entry.path()));
+  }
+  if (pool.empty()) pool.push_back(Input{});
+  fs::create_directories(opt.artifacts);
+  const fs::path cur_input = fs::path(opt.artifacts) / "cur_input";
+
+  Mutator mut(opt.seed, opt.max_len);
+  std::mt19937_64 rng(opt.seed ^ 0x9e3779b97f4a7c15ull);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opt.seconds));
+
+  std::uint64_t execs = 0;
+  while ((opt.iters == 0 || execs < opt.iters) &&
+         (opt.iters != 0 || std::chrono::steady_clock::now() < deadline)) {
+    const Input& base = pool[rng() % pool.size()];
+    const Input in = mut.mutate(base, pool);
+    write_file(cur_input, in);  // survives a non-unwinding sanitizer abort
+    try {
+      abcast_fuzz_entry(in.data(), in.size());
+    } catch (const std::exception& e) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "crash-%016" PRIx64, fnv1a(in));
+      const fs::path crash = fs::path(opt.artifacts) / name;
+      write_file(crash, in);
+      std::fprintf(stderr,
+                   "CRASH: escaping exception: %s\n  input: %zu bytes -> %s\n",
+                   e.what(), in.size(), crash.string().c_str());
+      return 1;
+    }
+    ++execs;
+    // Occasionally adopt the mutant so the pool random-walks outward even
+    // without coverage feedback.
+    if (rng() % 64 == 0 && pool.size() < 4096) pool.push_back(in);
+  }
+
+  std::error_code ec;
+  fs::remove(cur_input, ec);
+  std::fprintf(stderr, "done: %" PRIu64 " execs, %zu pool inputs, clean\n",
+               execs, pool.size());
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Registry of every fuzz harness family (DESIGN.md §15).
+//
+// One entry per decoder family; the name doubles as the corpus subdirectory
+// under fuzz/corpus/ and the harness executable suffix (fuzz_<name>).
+// tests/fuzz_regression_test.cpp walks this table to replay checked-in
+// crashers, and gen_corpus walks it to lay out seed corpora, so adding a
+// family here wires it into tier-1 CI automatically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace abcast::fuzz {
+
+int fuzz_consensus_wire(const std::uint8_t* data, std::size_t size);
+int fuzz_ab_wire(const std::uint8_t* data, std::size_t size);
+int fuzz_group_wire(const std::uint8_t* data, std::size_t size);
+int fuzz_vector_clock(const std::uint8_t* data, std::size_t size);
+int fuzz_app_checkpoint(const std::uint8_t* data, std::size_t size);
+int fuzz_storage_record(const std::uint8_t* data, std::size_t size);
+int fuzz_scenario(const std::uint8_t* data, std::size_t size);
+int fuzz_tracecheck(const std::uint8_t* data, std::size_t size);
+
+struct FuzzTarget {
+  const char* name;
+  int (*fn)(const std::uint8_t* data, std::size_t size);
+};
+
+inline constexpr FuzzTarget kFuzzTargets[] = {
+    {"consensus_wire", fuzz_consensus_wire},
+    {"ab_wire", fuzz_ab_wire},
+    {"group_wire", fuzz_group_wire},
+    {"vector_clock", fuzz_vector_clock},
+    {"app_checkpoint", fuzz_app_checkpoint},
+    {"storage_record", fuzz_storage_record},
+    {"scenario", fuzz_scenario},
+    {"tracecheck", fuzz_tracecheck},
+};
+
+}  // namespace abcast::fuzz

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Builds and runs the fuzz harnesses (fuzz/ — one per decoder family) under
+# asan+ubsan, preferring real libFuzzer when a clang toolchain is available
+# and falling back to the gcc corpus-mutation driver otherwise.
+#
+#   scripts/run_fuzz.sh [--smoke] [--seconds N] [family...]
+#
+#   --smoke      ~30 seconds per harness (the CI fuzz-smoke budget)
+#   --seconds N  explicit per-harness budget (default 600)
+#   family...    subset of families to run (default: all from gen_corpus)
+#
+# Exit codes: 0 all harnesses clean, 1 a harness found a crash (the input
+# is left under <build>/fuzz-artifacts/<family>/), 2 usage/build failure.
+#
+# The container image used for local development ships gcc only; libFuzzer
+# needs clang. Unlike check_tidy.sh this script does NOT skip in that case:
+# the fallback driver (fuzz/standalone_main.cpp) runs the same harnesses
+# with the same sanitizers, just without coverage feedback.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SECONDS_PER=600
+FAMILIES=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) SECONDS_PER=30; shift ;;
+    --seconds) SECONDS_PER="${2:?--seconds needs a value}"; shift 2 ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
+    -*) echo "run_fuzz: unknown option '$1'" >&2; exit 2 ;;
+    *) FAMILIES+=("$1"); shift ;;
+  esac
+done
+
+CLANGXX="$(command -v clang++ || true)"
+MODE="fallback"
+BUILD="${ROOT}/build-fuzz"
+CMAKE_ARGS=(-DCMAKE_BUILD_TYPE=RelWithDebInfo
+            -DABCAST_SANITIZE=address,undefined)
+if [[ -n "${CLANGXX}" ]] &&
+   echo 'int LLVMFuzzerTestOneInput(const unsigned char*, unsigned long){return 0;}' |
+   "${CLANGXX}" -x c++ -fsanitize=fuzzer - -o /dev/null 2>/dev/null; then
+  MODE="libfuzzer"
+  BUILD="${ROOT}/build-libfuzzer"
+  CMAKE_ARGS+=(-DABCAST_LIBFUZZER=ON "-DCMAKE_CXX_COMPILER=${CLANGXX}")
+else
+  CMAKE_ARGS+=(-DABCAST_FUZZ=ON)
+fi
+echo "run_fuzz: mode=${MODE} budget=${SECONDS_PER}s/harness build=${BUILD}"
+
+cmake -S "${ROOT}" -B "${BUILD}" "${CMAKE_ARGS[@]}" >/dev/null
+cmake --build "${BUILD}" --target gen_corpus -j "$(nproc)" >/dev/null
+
+CORPUS="${BUILD}/fuzz-corpus"
+ARTIFACTS="${BUILD}/fuzz-artifacts"
+rm -rf "${CORPUS}"
+"${BUILD}/fuzz/gen_corpus" "${CORPUS}"
+# Checked-in crashers join the seed pool so mutation restarts near them.
+for dir in "${ROOT}"/fuzz/corpus/*/; do
+  family="$(basename "${dir}")"
+  [[ -d "${CORPUS}/${family}" ]] || mkdir -p "${CORPUS}/${family}"
+  cp "${dir}"* "${CORPUS}/${family}/" 2>/dev/null || true
+done
+rm -f "${CORPUS}"/*/README.md 2>/dev/null || true
+
+if [[ ${#FAMILIES[@]} -eq 0 ]]; then
+  mapfile -t FAMILIES < <(cd "${CORPUS}" && ls -d ./*/ | tr -d './')
+fi
+
+STATUS=0
+for family in "${FAMILIES[@]}"; do
+  target="fuzz_${family}"
+  cmake --build "${BUILD}" --target "${target}" -j "$(nproc)" >/dev/null
+  bin="${BUILD}/fuzz/${target}"
+  art="${ARTIFACTS}/${family}"
+  mkdir -p "${art}"
+  echo "run_fuzz: ${family} (${SECONDS_PER}s)"
+  if [[ "${MODE}" == "libfuzzer" ]]; then
+    if ! "${bin}" -max_total_time="${SECONDS_PER}" \
+         -artifact_prefix="${art}/" "${CORPUS}/${family}"; then
+      STATUS=1
+    fi
+  else
+    if ! "${bin}" --corpus "${CORPUS}/${family}" --artifacts "${art}" \
+         --seconds "${SECONDS_PER}" --seed "$(( $(date +%s) % 100000 ))"; then
+      STATUS=1
+    fi
+  fi
+done
+
+if [[ "${STATUS}" -ne 0 ]]; then
+  echo "run_fuzz: findings above — crashers are under ${ARTIFACTS}/."
+  echo "run_fuzz: fix the bug, then check the input into fuzz/corpus/ so"
+  echo "run_fuzz: tests/fuzz_regression_test pins it forever."
+  exit 1
+fi
+echo "run_fuzz: all harnesses clean."

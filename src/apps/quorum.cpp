@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/codec.hpp"
+#include "common/logging.hpp"
 
 namespace abcast::apps {
 namespace {
@@ -192,10 +193,25 @@ void QuorumReplicaNode::propose_config(const QuorumConfig& config) {
 }
 
 void QuorumReplicaNode::install_config(const core::AppMsg& msg) {
-  BufReader r(msg.payload);
-  QuorumConfig next = QuorumConfig::decode(r);
-  r.expect_done();
-  next.validate(env_.group_size());
+  // Config payloads arrive through atomic broadcast, so every replica sees
+  // the same bytes — but nothing guarantees those bytes decode. A malformed
+  // or invalid config must be rejected deterministically (every replica
+  // skips the same message), not crash the delivery path.
+  QuorumConfig next;
+  try {
+    BufReader r(msg.payload);
+    next = QuorumConfig::decode(r);
+    r.expect_done();
+    next.validate(env_.group_size());
+  } catch (const CodecError& e) {
+    ABCAST_LOG(kDebug, "quorum@" << env_.self()
+                                 << " rejected config: " << e.what());
+    return;
+  } catch (const InvariantViolation& e) {
+    ABCAST_LOG(kDebug, "quorum@" << env_.self()
+                                 << " rejected config: " << e.what());
+    return;
+  }
   config_ = std::move(next);
   epoch_ += 1;
   metrics_.configs_installed += 1;

@@ -96,11 +96,28 @@ class BufWriter {
 
 /// Reads the encodings produced by BufWriter; throws CodecError on any
 /// truncation or overrun. Non-owning: the source buffer must outlive it.
+///
+/// Allocation-bomb resistance: every length prefix is validated against the
+/// bytes actually remaining BEFORE any reservation, scaled by the smallest
+/// possible element encoding (count()), nested containers are capped at
+/// kMaxDecodeDepth, and the sum of all claimed lengths across one decode is
+/// budgeted at kClaimFactor x the buffer size. A legitimate encoding claims
+/// each payload byte once per nesting level, so honest messages stay far
+/// under the budget; a hostile prefix can never make allocation exceed a
+/// small multiple of the input it paid for.
 class BufReader {
  public:
   explicit BufReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
   BufReader(const std::uint8_t* data, std::size_t size)
       : data_(data), size_(size) {}
+
+  /// Deepest legal container nesting during one decode. Real messages nest
+  /// three or four levels; anything deeper is a malformed or hostile input.
+  static constexpr std::size_t kMaxDecodeDepth = 32;
+  /// Total claimed length prefixes may not exceed this multiple of the
+  /// buffer size (each nesting level may legitimately re-claim the bytes
+  /// under it, so the factor tracks kMaxDecodeDepth's practical use).
+  static constexpr std::size_t kClaimFactor = 8;
 
   std::uint8_t u8() { return get<std::uint8_t>(); }
   std::uint16_t u16() { return get<std::uint16_t>(); }
@@ -135,12 +152,28 @@ class BufReader {
     return id;
   }
 
+  /// Reads a u32 element count and validates it against the bytes actually
+  /// remaining before the caller allocates anything: a count is only
+  /// plausible if `count * min_elem_bytes` elements could still follow.
+  /// Decoders with a known fixed-width element pass its size; structured
+  /// decoders pass the smallest possible element encoding (>= 1).
+  std::uint32_t count(std::size_t min_elem_bytes) {
+    const auto n = u32();
+    if (min_elem_bytes < 1) min_elem_bytes = 1;
+    if (n > remaining() / min_elem_bytes) {
+      throw CodecError("container count exceeds buffer");
+    }
+    claim(static_cast<std::size_t>(n) * min_elem_bytes);
+    return n;
+  }
+
   template <typename T, typename Fn>
   std::vector<T> vec(Fn&& decode_one) {
-    const auto n = u32();
-    // Element encodings are at least one byte; reject absurd counts before
-    // allocating, so corrupted input cannot trigger a huge allocation.
-    if (n > remaining()) throw CodecError("vector count exceeds buffer");
+    // Element encodings are at least one byte; count() rejects absurd
+    // counts before allocating, so corrupted input cannot trigger a huge
+    // allocation.
+    const auto n = count(1);
+    const DepthGuard depth(*this);
     std::vector<T> out;
     out.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) out.push_back(decode_one(*this));
@@ -149,8 +182,8 @@ class BufReader {
 
   template <typename K, typename V, typename Fn>
   std::map<K, V> map(Fn&& decode_one) {
-    const auto n = u32();
-    if (n > remaining()) throw CodecError("map count exceeds buffer");
+    const auto n = count(1);
+    const DepthGuard depth(*this);
     std::map<K, V> out;
     for (std::uint32_t i = 0; i < n; ++i) {
       auto [k, v] = decode_one(*this);
@@ -169,6 +202,33 @@ class BufReader {
   }
 
  private:
+  /// Scopes one container level: vec/map bump the nesting depth for the
+  /// duration of their element loop so a recursive (or corrupted) encoding
+  /// cannot recurse without bound.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(BufReader& r) : r_(r) {
+      if (r_.depth_ >= kMaxDecodeDepth) {
+        throw CodecError("container nesting too deep");
+      }
+      ++r_.depth_;
+    }
+    ~DepthGuard() { --r_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    BufReader& r_;
+  };
+
+  /// Accounts a validated length claim against the whole-decode budget.
+  void claim(std::size_t n) {
+    claimed_ += n;
+    if (claimed_ > kClaimFactor * size_ + 64) {
+      throw CodecError("claimed lengths exceed decode budget");
+    }
+  }
+
   template <typename T>
   T get() {
     if (remaining() < sizeof(T)) throw CodecError("read past end of buffer");
@@ -183,12 +243,15 @@ class BufReader {
   std::size_t length() {
     const auto n = u32();
     if (n > remaining()) throw CodecError("blob length exceeds buffer");
+    claim(n);
     return n;
   }
 
   const std::uint8_t* data_;
   std::size_t size_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+  std::size_t claimed_ = 0;
 };
 
 /// Convenience: encode a message struct that exposes encode(BufWriter&).

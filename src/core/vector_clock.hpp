@@ -119,7 +119,10 @@ class VectorClock {
     }
   }
   static VectorClock decode(BufReader& r) {
-    const auto n = r.u32();
+    // Each per-sender entry is itself length-prefixed, so at least four
+    // bytes must remain per claimed sender; validating through count()
+    // keeps a hostile width from allocating billions of empty vectors.
+    const auto n = r.count(sizeof(std::uint32_t));
     VectorClock vc(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       vc.tops_[i] = r.vec<std::uint64_t>([](BufReader& rr) { return rr.u64(); });

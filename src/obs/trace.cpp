@@ -3,6 +3,7 @@
 #include <array>
 #include <cctype>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <utility>
 
@@ -221,9 +222,12 @@ class LineParser {
         const std::string v = parse_string();
         const auto colon = v.find(':');
         if (colon == std::string::npos) fail("malformed msg id '" + v + "'");
-        e.msg.sender =
-            static_cast<ProcessId>(std::stoull(v.substr(0, colon)));
-        e.msg.seq = std::stoull(v.substr(colon + 1));
+        const std::uint64_t sender = digits_to_u64(v.substr(0, colon));
+        if (sender > std::numeric_limits<ProcessId>::max()) {
+          fail("msg sender out of range in '" + v + "'");
+        }
+        e.msg.sender = static_cast<ProcessId>(sender);
+        e.msg.seq = digits_to_u64(v.substr(colon + 1));
       } else if (key == "detail") {
         e.detail = parse_string();
       } else {
@@ -319,6 +323,23 @@ class LineParser {
     return static_cast<std::uint64_t>(v);
   }
 
+  // All-digits string -> u64 with overflow rejection (the msg-id halves;
+  // external traces put arbitrary text here, so std::stoull's exceptions
+  // would escape the CodecError diagnostic contract).
+  std::uint64_t digits_to_u64(const std::string& digits) const {
+    if (digits.empty()) fail("empty number in msg id");
+    std::uint64_t v = 0;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') fail("malformed msg id part '" + digits + "'");
+      const auto d = static_cast<std::uint64_t>(c - '0');
+      if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) {
+        fail("msg id part out of range '" + digits + "'");
+      }
+      v = v * 10 + d;
+    }
+    return v;
+  }
+
   std::int64_t parse_int() {
     bool neg = false;
     if (peek() == '-') {
@@ -328,13 +349,31 @@ class LineParser {
     if (!std::isdigit(static_cast<unsigned char>(peek()))) {
       fail("expected digit");
     }
+    // Accumulate as u64 with an explicit overflow check, then bound by the
+    // signed range: magnitude <= 2^63 for negatives (INT64_MIN), <= 2^63-1
+    // for positives. The old unchecked accumulate-and-negate both wrapped
+    // silently and hit signed-negation UB on -2^63.
     std::uint64_t v = 0;
     while (pos_ < s_.size() &&
            std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
-      v = v * 10 + static_cast<std::uint64_t>(s_[pos_] - '0');
+      const auto d = static_cast<std::uint64_t>(s_[pos_] - '0');
+      if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) {
+        fail("integer out of range");
+      }
+      v = v * 10 + d;
       ++pos_;
     }
-    return neg ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+    if (neg) {
+      constexpr std::uint64_t kMinMag = 1ull << 63;
+      if (v > kMinMag) fail("integer out of range");
+      if (v == kMinMag) return std::numeric_limits<std::int64_t>::min();
+      return -static_cast<std::int64_t>(v);
+    }
+    if (v > static_cast<std::uint64_t>(
+                std::numeric_limits<std::int64_t>::max())) {
+      fail("integer out of range");
+    }
+    return static_cast<std::int64_t>(v);
   }
 
   std::string_view s_;

@@ -1,6 +1,7 @@
 #include "scenario/scenario.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -11,6 +12,16 @@
 namespace abcast::scenario {
 
 namespace {
+
+// Adversarial-input budget (scenario lines arrive from sweep configs and
+// the fuzzers, not just generate_scenario): a line the harness would accept
+// must stay small enough that replaying it is always cheap.
+constexpr std::size_t kMaxLineBytes = 64 * 1024;
+constexpr std::size_t kMaxClauses = 128;
+constexpr std::size_t kMaxPids = 256;
+// Loose sanity cap for rate/scale factors; real scenarios use single-digit
+// factors, and unbounded values turn the simulated clock degenerate.
+constexpr double kMaxFactor = 1e6;
 
 // ---- serialization helpers ----------------------------------------------
 
@@ -98,6 +109,9 @@ struct Parser {
     if (errno != 0 || end != s.c_str() + s.size()) {
       return fail("bad number '" + s + "'");
     }
+    // strtod happily accepts "nan"/"inf"; no clause has a meaningful
+    // non-finite parameter, and nan breaks the serialize/parse fixpoint.
+    if (!std::isfinite(v)) return fail("non-finite number '" + s + "'");
     out = v;
     return true;
   }
@@ -132,6 +146,7 @@ struct Parser {
                                                  : bar - pos);
       ProcessId p = 0;
       if (!pid(tok, p)) return false;
+      if (out.size() >= kMaxPids) return fail("process list too long");
       out.push_back(p);
       if (bar == std::string::npos) break;
       pos = bar + 1;
@@ -297,6 +312,11 @@ std::optional<Scenario> Scenario::parse(const std::string& line,
     return std::nullopt;
   };
 
+  if (line.size() > kMaxLineBytes) {
+    p.fail("line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
+    return bail();
+  }
+
   std::istringstream in(line);
   std::string tok;
   if (!(in >> tok) || tok != "scn1") {
@@ -344,6 +364,10 @@ std::optional<Scenario> Scenario::parse(const std::string& line,
     // clause: kind(body)
     if (tok.back() != ')') {
       p.fail("unterminated clause '" + tok + "'");
+      return bail();
+    }
+    if (s.clauses.size() >= kMaxClauses) {
+      p.fail("more than " + std::to_string(kMaxClauses) + " clauses");
       return bail();
     }
     const std::string kind = tok.substr(0, paren);
@@ -463,11 +487,14 @@ std::optional<Scenario> Scenario::parse(const std::string& line,
             return cl.a < s.n && cl.b < s.n && cl.a != cl.b &&
                    cl.period > 0;
           } else if constexpr (std::is_same_v<T, GrayClause>) {
-            return cl.node < s.n && cl.rx_factor >= 0.0;
+            return cl.node < s.n && cl.rx_factor >= 0.0 &&
+                   cl.rx_factor <= kMaxFactor;
           } else if constexpr (std::is_same_v<T, SkewClause>) {
-            return cl.node < s.n && cl.scale > 0.0;
+            return cl.node < s.n && cl.scale > 0.0 &&
+                   cl.scale <= kMaxFactor;
           } else if constexpr (std::is_same_v<T, DiskClause>) {
-            return cl.node < s.n && cl.delay_max >= cl.delay_min;
+            return cl.node < s.n && cl.delay_max >= cl.delay_min &&
+                   cl.stall_prob >= 0.0 && cl.stall_prob <= 1.0;
           } else if constexpr (std::is_same_v<T, BurstClause>) {
             for (const ProcessId q : cl.victims) {
               if (q >= s.n) return false;
@@ -477,8 +504,10 @@ std::optional<Scenario> Scenario::parse(const std::string& line,
           } else if constexpr (std::is_same_v<T, WinClause>) {
             return cl.alpha >= 1;
           } else {  // LoadClause
+            // hot without keys would not survive serialize() (which omits
+            // both when keys == 0), breaking the one-line-repro fixpoint.
             return cl.mean_gap > 0 && cl.clients >= 1 && cl.hot >= 0.0 &&
-                   cl.hot <= 1.0;
+                   cl.hot <= 1.0 && (cl.keys != 0 || cl.hot == 0.0);
           }
           return true;
         },

@@ -1,6 +1,8 @@
 // Unit tests for the common kernel: codec, crc32, ids, rng, logging, check.
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "common/check.hpp"
 #include "common/codec.hpp"
 #include "common/crc32.hpp"
@@ -104,6 +106,116 @@ TEST(Codec, VectorCountBeyondBufferThrows) {
   BufReader r(w.data());
   EXPECT_THROW(r.vec<std::uint8_t>([](BufReader& rr) { return rr.u8(); }),
                CodecError);
+}
+
+// Regression for the allocation-bomb class: a tiny buffer whose length
+// prefix claims gigabytes must throw before any reservation happens. A
+// replacement allocator counts every allocation the decode attempts; the
+// guard fires on the count check, so nothing is reserved.
+namespace {
+struct CountingAlloc {
+  static inline std::size_t bytes_requested = 0;
+};
+template <typename T>
+struct Counting {
+  using value_type = T;
+  Counting() = default;
+  template <typename U>
+  Counting(const Counting<U>&) {}
+  T* allocate(std::size_t n) {
+    CountingAlloc::bytes_requested += n * sizeof(T);
+    return std::allocator<T>{}.allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) { std::allocator<T>{}.deallocate(p, n); }
+  template <typename U>
+  bool operator==(const Counting<U>&) const { return true; }
+};
+}  // namespace
+
+TEST(Codec, OversizedCountThrowsBeforeAllocating) {
+  // 4-byte buffer claiming 2^32-1 eight-byte elements.
+  BufWriter w;
+  w.u32(0xFFFFFFFF);
+  Bytes b = w.data();
+  BufReader r(b);
+  CountingAlloc::bytes_requested = 0;
+  using V = std::vector<std::uint64_t, Counting<std::uint64_t>>;
+  auto decode_bomb = [&] {
+    const auto n = r.count(sizeof(std::uint64_t));
+    V out;
+    out.reserve(n);
+  };
+  EXPECT_THROW(decode_bomb(), CodecError);
+  EXPECT_EQ(CountingAlloc::bytes_requested, 0u);
+}
+
+TEST(Codec, CountScalesByElementWidth) {
+  // 12 bytes remain after the prefix: 3 u32 elements fit, 4 do not.
+  BufWriter w;
+  w.u32(3);
+  w.u32(1);
+  w.u32(2);
+  w.u32(3);
+  BufReader ok(w.data());
+  EXPECT_EQ(ok.count(sizeof(std::uint32_t)), 3u);
+
+  BufWriter w2;
+  w2.u32(4);
+  w2.u32(1);
+  w2.u32(2);
+  w2.u32(3);
+  BufReader bad(w2.data());
+  EXPECT_THROW(bad.count(sizeof(std::uint32_t)), CodecError);
+}
+
+TEST(Codec, NestedContainerDepthCapped) {
+  // Each 1-byte "element" claims another vector: 64 nested counts of 1.
+  // The depth guard throws long before the stack or allocator notice.
+  BufWriter w;
+  for (int i = 0; i < 64; ++i) w.u32(1);
+  w.u8(0);
+  BufReader r(w.data());
+  std::function<int(BufReader&)> nest = [&](BufReader& rr) -> int {
+    auto inner = rr.vec<int>([&](BufReader& r2) { return nest(r2); });
+    return inner.empty() ? 0 : inner[0];
+  };
+  EXPECT_THROW(r.vec<int>([&](BufReader& rr) { return nest(rr); }),
+               CodecError);
+}
+
+TEST(Codec, ClaimBudgetCapsRepeatedPlausibleClaims) {
+  // Every individual count passes the remaining-bytes check (8192 elements
+  // of >= 1 byte always fit in what's left), but a decoder that keeps
+  // reading counts without consuming the claimed elements accumulates
+  // claims past kClaimFactor x buffer size; the cumulative budget stops it.
+  Bytes b;
+  for (int i = 0; i < 4096; ++i) {
+    b.push_back(0x00);
+    b.push_back(0x20);  // each u32 prefix claims 0x2000 = 8192 elements
+    b.push_back(0x00);
+    b.push_back(0x00);
+  }
+  BufReader r(b);
+  auto drain = [&] {
+    while (r.remaining() >= 4) (void)r.count(1);
+  };
+  EXPECT_THROW(drain(), CodecError);
+}
+
+TEST(Codec, HonestNestedMessageStaysUnderBudget) {
+  // A realistically nested encoding (vec of vec of bytes) round-trips
+  // untouched by the depth and claim guards.
+  BufWriter w;
+  std::vector<std::vector<Bytes>> outer(4, std::vector<Bytes>(4, Bytes(16, 7)));
+  w.vec(outer, [](BufWriter& ww, const std::vector<Bytes>& inner) {
+    ww.vec(inner, [](BufWriter& w2, const Bytes& bb) { w2.bytes(bb); });
+  });
+  BufReader r(w.data());
+  auto out = r.vec<std::vector<Bytes>>([](BufReader& rr) {
+    return rr.vec<Bytes>([](BufReader& r2) { return r2.bytes(); });
+  });
+  r.expect_done();
+  EXPECT_EQ(out, outer);
 }
 
 TEST(Codec, MalformedBoolThrows) {

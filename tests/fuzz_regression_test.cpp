@@ -1,0 +1,124 @@
+// Replays the fuzz subsystem's inputs under plain ctest — no libFuzzer, no
+// sanitizer toolchain required (DESIGN.md §15):
+//
+//   1. every checked-in input under fuzz/corpus/<family>/ (the crashers:
+//      each must stay tamed by whatever fix landed it), and
+//   2. the auto-generated seed corpora from fuzz/corpus_gen.cpp, written to
+//      a temp dir in-process (each structurally valid input must satisfy
+//      its harness's decode/re-encode fixpoint).
+//
+// A harness signals a finding by calling abort(), so any regression here
+// fails the whole binary loudly rather than a single EXPECT.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz/corpus_gen.hpp"
+#include "fuzz/targets.hpp"
+
+namespace abcast::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef ABCAST_REPO_ROOT
+#error "ABCAST_REPO_ROOT must point at the repository checkout"
+#endif
+
+std::vector<std::uint8_t> read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+const FuzzTarget* target_named(const std::string& name) {
+  for (const auto& t : kFuzzTargets) {
+    if (name == t.name) return &t;
+  }
+  return nullptr;
+}
+
+// Replays every regular file under root/<family>/ through its family
+// harness; returns the per-family replay counts.
+std::map<std::string, int> replay_tree(const fs::path& root) {
+  std::map<std::string, int> counts;
+  if (!fs::exists(root)) return counts;
+  for (const auto& family_dir : fs::directory_iterator(root)) {
+    if (!family_dir.is_directory()) continue;
+    const std::string family = family_dir.path().filename().string();
+    const FuzzTarget* t = target_named(family);
+    // Unknown directory = a family was renamed without moving its corpus;
+    // fail loudly instead of silently skipping the inputs.
+    EXPECT_NE(t, nullptr) << "no fuzz target for corpus dir '" << family
+                          << "'";
+    if (t == nullptr) continue;
+    for (const auto& entry : fs::directory_iterator(family_dir.path())) {
+      if (!entry.is_regular_file()) continue;
+      const auto input = read_file(entry.path());
+      SCOPED_TRACE(entry.path().string());
+      // A finding aborts the process; reaching the next line is the pass.
+      t->fn(input.data(), input.size());
+      counts[family] += 1;
+    }
+  }
+  return counts;
+}
+
+TEST(FuzzRegression, CheckedInCrashersStayTamed) {
+  const fs::path corpus = fs::path(ABCAST_REPO_ROOT) / "fuzz" / "corpus";
+  const auto counts = replay_tree(corpus);
+  // The tracecheck and scenario crashers from the first fuzzing campaign
+  // are committed; an empty replay means the corpus went missing.
+  EXPECT_GE(counts.at("tracecheck"), 4);
+  EXPECT_GE(counts.at("scenario"), 2);
+}
+
+TEST(FuzzRegression, GeneratedSeedsSatisfyHarnessProperties) {
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("abcast_fuzz_seeds_" + std::to_string(::getpid()));
+  const int written = write_seed_corpora(root.string());
+  EXPECT_GE(written, 40) << "seed generator shrank unexpectedly";
+  const auto counts = replay_tree(root);
+  int replayed = 0;
+  for (const auto& t : kFuzzTargets) {
+    const auto it = counts.find(t.name);
+    EXPECT_TRUE(it != counts.end() && it->second > 0)
+        << "family '" << t.name << "' generated no seeds";
+    if (it != counts.end()) replayed += it->second;
+  }
+  EXPECT_EQ(replayed, written);
+  std::error_code ec;
+  fs::remove_all(root, ec);
+}
+
+// The seed files themselves are deterministic: two generations into two
+// directories produce byte-identical trees (the corpus is a function of
+// the encoders, so corpus diffs always mean wire-format diffs).
+TEST(FuzzRegression, SeedGenerationIsDeterministic) {
+  const fs::path a = fs::temp_directory_path() /
+                     ("abcast_fuzz_det_a_" + std::to_string(::getpid()));
+  const fs::path b = fs::temp_directory_path() /
+                     ("abcast_fuzz_det_b_" + std::to_string(::getpid()));
+  ASSERT_EQ(write_seed_corpora(a.string()), write_seed_corpora(b.string()));
+  for (const auto& entry : fs::recursive_directory_iterator(a)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path rel = fs::relative(entry.path(), a);
+    EXPECT_EQ(read_file(entry.path()), read_file(b / rel))
+        << "seed " << rel.string() << " differs between generations";
+  }
+  std::error_code ec;
+  fs::remove_all(a, ec);
+  fs::remove_all(b, ec);
+}
+
+}  // namespace
+}  // namespace abcast::fuzz

@@ -166,12 +166,50 @@ TEST(ScenarioParse, RejectsMalformedLines) {
       "scn1 win(a=0)",                             // window must be >= 1
       "scn1 gray(at=1ms,for=2ms,node=0",           // unterminated clause
       "scn1 n=0",                                  // empty cluster
+      // Fuzzing-campaign hardening (fuzz/corpus/scenario/): strtod accepts
+      // nan/inf, and hot-without-keys did not survive serialize().
+      "scn1 n=3 disk(at=1ms,for=1ms,node=0,min=1us,max=2us,stallp=nan,"
+      "stall=1ms)",                                // nan probability
+      "scn1 n=3 disk(at=1ms,for=1ms,node=0,min=1us,max=2us,stallp=1.5,"
+      "stall=1ms)",                                // probability > 1
+      "scn1 n=3 gray(at=1ms,for=1ms,node=0,rx=inf)",   // infinite factor
+      "scn1 n=3 gray(at=1ms,for=1ms,node=0,rx=1e7)",   // factor above cap
+      "scn1 n=3 skew(node=0,scale=inf)",               // infinite skew
+      "scn1 n=3 load(at=0s,for=1ms,gap=1ms,clients=1,bytes=1,keys=0,"
+      "hot=0.5)",  // hot without keys: serialize() would drop both
   };
   for (const char* line : bad) {
     std::string error;
     EXPECT_FALSE(Scenario::parse(line, &error).has_value()) << line;
     EXPECT_FALSE(error.empty()) << line;
   }
+}
+
+// Resource caps: a line the parser accepts must be cheap to replay, so
+// clause counts, process lists, and the line itself are bounded.
+TEST(ScenarioParse, RejectsOversizedInputs) {
+  std::string many_clauses = "scn1 n=3";
+  for (int i = 0; i < 129; ++i) many_clauses += " win(a=1)";
+  std::string error;
+  EXPECT_FALSE(Scenario::parse(many_clauses, &error).has_value());
+  EXPECT_NE(error.find("clauses"), std::string::npos);
+
+  std::string many_pids = "scn1 n=3 burst(at=1ms,victims=0";
+  for (int i = 0; i < 300; ++i) many_pids += "|1";
+  many_pids += ",down=1ms)";
+  error.clear();
+  EXPECT_FALSE(Scenario::parse(many_pids, &error).has_value());
+  EXPECT_NE(error.find("process list"), std::string::npos);
+
+  const std::string long_line = "scn1 n=3 " + std::string(64 * 1024, ' ');
+  error.clear();
+  EXPECT_FALSE(Scenario::parse(long_line, &error).has_value());
+  EXPECT_NE(error.find("bytes"), std::string::npos);
+
+  // 128 clauses exactly is still accepted — the cap is not off by one.
+  std::string at_cap = "scn1 n=3";
+  for (int i = 0; i < 128; ++i) at_cap += " win(a=1)";
+  EXPECT_TRUE(Scenario::parse(at_cap, nullptr).has_value());
 }
 
 TEST(ScenarioParse, ErrorMessagesNameTheProblem) {

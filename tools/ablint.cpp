@@ -38,6 +38,15 @@
 //                       flagged too. Guarantees "every failure reproduces
 //                       from one line" survives new clause kinds.
 //
+//   fuzz-coverage       Every round-trip-registered message (each
+//                       `ablint:roundtrip <Name>` marker under tests/) also
+//                       appears as an `ablint:fuzz <Name>` marker under
+//                       fuzz/ — i.e. some fuzz harness dispatches its
+//                       decoder (DESIGN.md §15). A fuzz marker naming a
+//                       message that is no longer roundtrip-registered is
+//                       stale and flagged too, so harness dispatch tables
+//                       cannot silently rot as the wire set evolves.
+//
 // Usage:
 //   ablint [--root <repo-root>]   # scan; file:line diagnostics; exit 1 on
 //                                 # any violation
@@ -331,6 +340,62 @@ std::vector<Diag> check_scenario_roundtrip(
   return out;
 }
 
+// ---------------------------------------------------------------- rule 6
+
+// The roundtrip registry (rule 2's markers under tests/) doubles as the
+// fuzz obligation list: every registered message must be dispatched by some
+// fuzz harness, proven by an `ablint:fuzz <Name>` marker next to the
+// dispatch case under fuzz/. Stale fuzz markers (naming a message with no
+// roundtrip registration) are flagged from the fuzz side.
+std::vector<Diag> check_fuzz_coverage(const std::vector<SourceFile>& tests,
+                                      const std::vector<SourceFile>& fuzz) {
+  static const std::regex roundtrip_re(R"(ablint:roundtrip\s+([A-Za-z_]\w*))");
+  static const std::regex fuzz_re(R"(ablint:fuzz\s+([A-Za-z_]\w*))");
+
+  std::map<std::string, std::pair<std::string, std::size_t>> registered;
+  std::map<std::string, std::pair<std::string, std::size_t>> fuzzed;
+  for (const auto& f : tests) {
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      std::smatch m;
+      std::string rest = f.lines[i];
+      while (std::regex_search(rest, m, roundtrip_re)) {
+        registered.emplace(m[1].str(), std::make_pair(f.path, i + 1));
+        rest = m.suffix();
+      }
+    }
+  }
+  for (const auto& f : fuzz) {
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      std::smatch m;
+      std::string rest = f.lines[i];
+      while (std::regex_search(rest, m, fuzz_re)) {
+        fuzzed.emplace(m[1].str(), std::make_pair(f.path, i + 1));
+        rest = m.suffix();
+      }
+    }
+  }
+
+  std::vector<Diag> out;
+  for (const auto& [name, site] : registered) {
+    if (fuzzed.count(name) == 0) {
+      out.push_back({site.first, site.second, "fuzz-coverage",
+                     "'" + name +
+                         "' is roundtrip-registered but no fuzz harness "
+                         "carries an 'ablint:fuzz " +
+                         name + "' marker under fuzz/"});
+    }
+  }
+  for (const auto& [name, site] : fuzzed) {
+    if (registered.count(name) == 0) {
+      out.push_back({site.first, site.second, "fuzz-coverage",
+                     "stale marker: '" + name +
+                         "' has no 'ablint:roundtrip' registration under "
+                         "tests/"});
+    }
+  }
+  return out;
+}
+
 // ------------------------------------------------------------- file loading
 
 std::vector<std::string> split_lines(const std::string& text) {
@@ -534,6 +599,28 @@ int selftest() {
            check_scenario_roundtrip({kinds}, {full}), 0, "scenario-roundtrip");
   }
 
+  // fuzz-coverage: seeded roundtrip registration with no fuzz dispatch.
+  {
+    const auto registered = mem_file("tests/wire_roundtrip_test.cpp",
+                                     "// ablint:roundtrip DecidedMsg\n"
+                                     "// ablint:roundtrip NackMsg\n");
+    const auto partial = mem_file("fuzz/fuzz_consensus_wire.cpp",
+                                  "// ablint:fuzz DecidedMsg\n");
+    const auto full = mem_file("fuzz/fuzz_consensus_wire.cpp",
+                               "// ablint:fuzz DecidedMsg\n"
+                               "// ablint:fuzz NackMsg\n");
+    const auto stale = mem_file("fuzz/fuzz_consensus_wire.cpp",
+                                "// ablint:fuzz DecidedMsg\n"
+                                "// ablint:fuzz NackMsg\n"
+                                "// ablint:fuzz GhostMsg\n");
+    expect("fuzz-coverage fires on registered message with no fuzz marker",
+           check_fuzz_coverage({registered}, {partial}), 1, "fuzz-coverage");
+    expect("fuzz-coverage fires on stale fuzz marker",
+           check_fuzz_coverage({registered}, {stale}), 1, "fuzz-coverage");
+    expect("fuzz-coverage clean when every registration is fuzzed",
+           check_fuzz_coverage({registered}, {full}), 0, "fuzz-coverage");
+  }
+
   // metrics-indexed: seeded counter missing from the index.
   {
     const auto metrics = mem_file("src/core/atomic_broadcast.hpp",
@@ -600,6 +687,7 @@ int main(int argc, char** argv) {
 
   const auto src = load_tree(root, "src");
   const auto tests = load_tree(root, "tests");
+  const auto fuzz = load_tree(root, "fuzz");
   SourceFile experiments;
   if (!load_file(root / "EXPERIMENTS.md", "EXPERIMENTS.md", experiments)) {
     std::fprintf(stderr, "ablint: cannot read EXPERIMENTS.md under '%s'\n",
@@ -616,5 +704,6 @@ int main(int argc, char** argv) {
   add(check_raw_wire_access(src));
   add(check_metrics_indexed(src, experiments));
   add(check_scenario_roundtrip(src, tests));
+  add(check_fuzz_coverage(tests, fuzz));
   return report(diags);
 }
