@@ -13,6 +13,7 @@
 #include "sim/scheduler.hpp"
 #include "storage/file_storage.hpp"
 #include "storage/mem_storage.hpp"
+#include "storage/segment_log_storage.hpp"
 
 #include <filesystem>
 
@@ -101,6 +102,48 @@ void BM_FileStoragePutFsync(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FileStoragePutFsync);
+
+// The segmented-log backend (DESIGN.md §16), against the file-per-record
+// numbers above: one buffered append per put instead of tmp+rename.
+void BM_SegLogPut(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("abcast_bench_sl_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    SegmentedLogConfig cfg;
+    cfg.dir = dir;
+    cfg.sync = SyncMode::kNone;
+    SegmentedLogStorage storage(cfg);
+    const Bytes value(256, 'v');
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      storage.put("cons/prop/" + std::to_string(i++ % 100), value);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegLogPut);
+
+void BM_SegLogPutFsync(benchmark::State& state) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("abcast_bench_slf_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  {
+    SegmentedLogConfig cfg;
+    cfg.dir = dir;
+    cfg.sync = SyncMode::kEachPut;
+    SegmentedLogStorage storage(cfg);
+    const Bytes value(256, 'v');
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+      storage.put("cons/prop/" + std::to_string(i++ % 100), value);
+    }
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegLogPutFsync);
 
 void BM_SchedulerChurn(benchmark::State& state) {
   for (auto _ : state) {

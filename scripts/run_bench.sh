@@ -24,10 +24,10 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-cmake --build "${BUILD}" -j"$(nproc)" --target bench_gossip bench_throughput bench_state bench_scenarios bench_shards
+cmake --build "${BUILD}" -j"$(nproc)" --target bench_gossip bench_throughput bench_state bench_scenarios bench_shards bench_logops
 
 mkdir -p "${OUT}"
-for bench in gossip throughput state scenarios shards; do
+for bench in gossip throughput state scenarios shards logops; do
   "${BUILD}/bench/bench_${bench}" \
     "--metrics-json=${OUT}/BENCH_${bench}.json" \
     "--benchmark_filter=^\$"
@@ -35,4 +35,4 @@ done
 
 echo
 echo "Result rows:"
-wc -l "${OUT}"/BENCH_gossip.json "${OUT}"/BENCH_throughput.json "${OUT}"/BENCH_state.json "${OUT}"/BENCH_scenarios.json "${OUT}"/BENCH_shards.json
+wc -l "${OUT}"/BENCH_gossip.json "${OUT}"/BENCH_throughput.json "${OUT}"/BENCH_state.json "${OUT}"/BENCH_scenarios.json "${OUT}"/BENCH_shards.json "${OUT}"/BENCH_logops.json

@@ -218,6 +218,11 @@ MsgId AtomicBroadcast::broadcast(Bytes payload) {
     } else {
       log_unordered_set();
     }
+    // Durability barrier for deferred-sync backends (group-commit segmented
+    // log): §5.4's contract is that the record survives a crash once this
+    // call returns, not merely once it is appended. No-op on backends whose
+    // put is already synchronous.
+    storage_.flush();
   }
 
   if (options_.eager_dissemination) {

@@ -72,6 +72,16 @@ class StableStorage {
   /// Durably removes the record under `key` (no-op if absent).
   virtual void erase(std::string_view key) = 0;
 
+  /// Durability barrier for backends with a deferred sync point (the
+  /// group-commit segmented log): after flush() returns, every put/erase
+  /// issued before it survives any subsequent crash. Backends whose put is
+  /// already synchronous-durable keep the default no-op. Hosts order
+  /// flush() BEFORE releasing any externally visible action (outbound
+  /// datagrams, a completed A-broadcast) so a deferred-sync backend is
+  /// indistinguishable from a synchronous one to every other process — the
+  /// group-commit soundness argument, DESIGN.md §16.
+  virtual void flush() {}
+
   /// All stored keys beginning with `prefix`, in lexicographic order.
   virtual std::vector<std::string> keys_with_prefix(
       std::string_view prefix) = 0;
@@ -106,6 +116,8 @@ class TracingStorage final : public StableStorage {
   }
 
   void erase(std::string_view key) override { inner_.erase(key); }
+
+  void flush() override { inner_.flush(); }
 
   std::vector<std::string> keys_with_prefix(std::string_view prefix) override {
     return inner_.keys_with_prefix(prefix);

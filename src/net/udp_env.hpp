@@ -13,6 +13,18 @@
 // from an unknown peer is dropped (CodecError can never propagate past the
 // loop — unreliable transport semantics).
 //
+// Batched I/O (DESIGN.md §16): with UdpBatchConfig::enabled the host
+// coalesces syscalls at both ends of the hot path. Outbound frames queue on
+// a loop-thread-only send queue and are flushed with sendmmsg() once per
+// event-loop pass — each mmsghdr carries its own destination, so one
+// syscall covers every recipient of a multisend plus everything else the
+// pass produced. Inbound, recvmmsg() drains up to recv_batch datagrams per
+// syscall into a preallocated buffer ring feeding the same decode path.
+// The flush point doubles as the storage durability barrier: each pass runs
+// storage().flush() BEFORE releasing queued datagrams, so a deferred-sync
+// backend (SegmentedLogStorage) is externally indistinguishable from a
+// synchronous one — classic group commit.
+//
 // Limitations (documented, inherent to UDP): a datagram larger than the
 // ~64 KB UDP limit cannot be sent and is silently dropped, so deployments
 // with long histories should enable application checkpointing + trimmed
@@ -30,11 +42,20 @@
 #include <string>
 #include <thread>
 #include <tuple>
+#include <unordered_set>
 #include <vector>
 
+#include "common/relaxed_counter.hpp"
 #include "common/rng.hpp"
 #include "env/env.hpp"
+#include "obs/metrics.hpp"
 #include "storage/mem_storage.hpp"
+
+// Forward-declared here so the header stays free of <sys/socket.h>; defined
+// in the .cpp against the real kernel structs.
+struct mmsghdr;
+struct iovec;
+struct sockaddr_in;
 
 namespace abcast::net {
 
@@ -44,19 +65,51 @@ struct UdpPeer {
   std::uint16_t port = 0;
 };
 
+/// Syscall batching knobs. Off by default: the one-syscall-per-datagram
+/// path remains the reference behavior; benches and tests flip this on to
+/// measure/exercise the batched engine.
+struct UdpBatchConfig {
+  bool enabled = false;
+  /// Max datagrams drained per recvmmsg() call (buffer ring size).
+  std::uint32_t recv_batch = 16;
+  /// Max datagrams flushed per sendmmsg() call.
+  std::uint32_t send_batch = 16;
+};
+
+/// Transport-level counters, bound into the metrics registry (when one is
+/// configured) under net_* names — see EXPERIMENTS.md metrics index. The
+/// syscall/datagram pairs are what the batching bench reads: batching on
+/// should show send_syscalls << send_datagrams.
+struct NetMetrics {
+  RelaxedU64 send_syscalls;   // sendto/sendmmsg calls issued
+  RelaxedU64 send_datagrams;  // datagrams handed to the kernel
+  RelaxedU64 send_failures;   // oversized or kernel-rejected datagrams
+  RelaxedU64 recv_syscalls;   // recvfrom/recvmmsg calls issued
+  RelaxedU64 recv_datagrams;  // datagrams received
+  RelaxedU64 recv_errors;     // receive-side errno other than would-block
+};
+
 struct UdpConfig {
   ProcessId self = 0;
   std::vector<UdpPeer> peers;
   std::uint64_t seed = 1;
   /// Stable storage for this host; defaults to MemStableStorage.
   std::function<std::unique_ptr<StableStorage>()> storage_factory;
+  UdpBatchConfig batch;
+  /// An already-bound UDP socket to adopt instead of binding
+  /// peers[self] (ownership transfers; the host closes it). This is how
+  /// make_local_udp_cluster avoids the classic reserve/release/rebind port
+  /// race: every socket is bound exactly once, before any host starts.
+  int prebound_fd = -1;
+  /// Optional registry for net_* counter bindings; must outlive the host.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 class UdpHost final : public Env {
  public:
   /// Binds a socket to peers[config.self] (port 0 = ephemeral; see
-  /// local_port()) and starts the event loop. Throws std::runtime_error on
-  /// socket errors.
+  /// local_port()) — or adopts config.prebound_fd — and starts the event
+  /// loop. Throws std::runtime_error on socket errors.
   explicit UdpHost(UdpConfig config);
   ~UdpHost() override;
 
@@ -69,11 +122,15 @@ class UdpHost final : public Env {
   TimerId schedule_after(Duration delay, std::function<void()> fn) override;
   void cancel_timer(TimerId id) override;
   void send(ProcessId to, const Wire& msg) override;
-  /// Frames the datagram once ([u32 self][Wire]) and sendto()s it to every
-  /// peer — one encode per multisend instead of one per recipient.
+  /// Frames the datagram once ([u32 self][Wire]) and sends it to every
+  /// peer — one encode per multisend instead of one per recipient. Under
+  /// batching the copies are queue entries sharing one refcounted frame.
   void multisend(const Wire& msg) override;
   StableStorage& storage() override { return *storage_; }
   Rng& rng() override { return rng_; }
+  obs::MetricsRegistry* metrics_registry() override {
+    return config_.registry;
+  }
 
   // ---- lifecycle (external threads) --------------------------------------
   /// Constructs the protocol stack via `factory` and starts it.
@@ -92,7 +149,16 @@ class UdpHost final : public Env {
 
   /// Datagrams that failed to send (e.g. oversized) — observability for
   /// the UDP size limitation.
-  std::uint64_t send_failures() const { return send_failures_.load(); }
+  std::uint64_t send_failures() const {
+    return metrics_.send_failures.load();
+  }
+  const NetMetrics& net_metrics() const { return metrics_; }
+
+  /// Timer-table entries currently alive (scheduled and neither fired nor
+  /// cancelled). Regression hook for the cancelled-timer leak: stays
+  /// bounded by the number of OUTSTANDING timers no matter how many
+  /// cancel/fire cycles have run.
+  std::size_t pending_timer_entries() const;
 
   void shutdown();
 
@@ -108,11 +174,27 @@ class UdpHost final : public Env {
     }
   };
 
+  /// One queued outbound datagram (batched mode). The frame is refcounted:
+  /// a multisend queues group_size() entries over a single encode.
+  struct PendingSend {
+    ProcessId to = 0;
+    SharedBytes frame;
+  };
+
   void loop();
   void drain_socket();
+  void drain_socket_batched();
+  void handle_datagram(const std::uint8_t* data, std::size_t size);
+  /// The per-pass I/O barrier: storage flush first (durability), THEN the
+  /// queued datagrams (visibility). No-ops when batching is off except for
+  /// the storage flush, which deferred-sync backends always need.
+  void flush_io();
+  void flush_send_queue();
   void wake();
   Bytes make_frame(const Wire& msg) const;
   void send_frame(ProcessId to, const Bytes& frame);
+  void queue_frame(ProcessId to, const SharedBytes& frame);
+  void fill_dest(ProcessId to, sockaddr_in* addr) const;
 
   UdpConfig config_;
   Rng rng_;
@@ -123,22 +205,39 @@ class UdpHost final : public Env {
   std::vector<std::pair<std::uint32_t, std::uint16_t>> peer_addrs_;
   std::chrono::steady_clock::time_point epoch_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::priority_queue<Task, std::vector<Task>, std::greater<>> tasks_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t incarnation_ = 1;
-  std::vector<std::uint64_t> cancelled_;
+  /// Incarnation-bound timers scheduled but not yet fired or cancelled.
+  /// cancel_timer erases; the pop path fires only ids still present. This
+  /// replaces the old grow-only cancelled-ids list, whose entries leaked
+  /// whenever a timer fired (or died with its incarnation) after cancel.
+  std::unordered_set<std::uint64_t> live_timers_;
   bool stop_ = false;
 
   std::atomic<bool> up_{false};
-  std::atomic<std::uint64_t> send_failures_{0};
+  NetMetrics metrics_;
+  obs::MetricsGroup metrics_group_;
   std::unique_ptr<NodeApp> node_;  // event-loop thread only
-  std::thread thread_;
+
+  // Batched-I/O state, event-loop thread only (Env serializes callbacks).
+  std::vector<PendingSend> send_queue_;
+  std::vector<Bytes> recv_ring_;  // recv_batch preallocated datagram buffers
+  std::vector<mmsghdr> send_hdrs_, recv_hdrs_;
+  std::vector<iovec> send_iovs_, recv_iovs_;
+  std::vector<sockaddr_in> send_addrs_, recv_addrs_;
+
+  std::thread thread_;  // declared last: joins before members die
 };
 
 /// Convenience for tests and demos: builds n hosts on ephemeral localhost
-/// ports and wires their peer tables together.
+/// ports and wires their peer tables together. All sockets are bound before
+/// any host is constructed (via UdpConfig::prebound_fd), so there is no
+/// window where a reserved port could be lost to another process.
 std::vector<std::unique_ptr<UdpHost>> make_local_udp_cluster(
-    std::uint32_t n, std::uint64_t seed = 1);
+    std::uint32_t n, std::uint64_t seed = 1, const UdpBatchConfig& batch = {},
+    obs::MetricsRegistry* registry = nullptr,
+    std::function<std::unique_ptr<StableStorage>()> storage_factory = {});
 
 }  // namespace abcast::net

@@ -177,6 +177,7 @@ RunResult run_sharded_scenario(const Scenario& s, const RunOptions& opts) {
   cfg.sim.n = s.n;
   cfg.sim.seed = s.seed * 2654435761ull + 1;
   cfg.sim.trace_capacity = opts.trace_capacity;
+  cfg.sim.storage_factory = opts.storage_factory;
   cfg.sim.net.drop_prob = kDropProb;
   cfg.sim.net.dup_prob = kDupProb;
   cfg.node.layout = group::GroupConfig::uniform(s.n, s.groups);
@@ -341,6 +342,7 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
   cfg.sim.n = s.n;
   cfg.sim.seed = s.seed * 2654435761ull + 1;
   cfg.sim.trace_capacity = opts.trace_capacity;
+  cfg.sim.storage_factory = opts.storage_factory;
   cfg.sim.net.drop_prob = kDropProb;
   cfg.sim.net.dup_prob = kDupProb;
   cfg.stack.engine = s.engine;

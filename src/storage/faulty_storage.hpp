@@ -139,6 +139,10 @@ class FaultyStorage final : public StableStorage {
   void put(std::string_view key, const Bytes& value) override;
   std::optional<Bytes> get(std::string_view key) override;
   void erase(std::string_view key) override;
+  /// Forwarded verbatim: flush is a durability barrier, not a log op, so it
+  /// neither advances the crash-point counter nor draws from the fault RNG
+  /// (seeded sweeps stay bit-identical whether the backend defers syncs).
+  void flush() override { inner_->flush(); }
   std::vector<std::string> keys_with_prefix(std::string_view prefix) override;
   std::uint64_t footprint_bytes() override;
   /// Per-contract operation counters as seen by the caller; failed

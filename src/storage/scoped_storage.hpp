@@ -37,6 +37,8 @@ class ScopedStorage final : public StableStorage {
     inner_.erase(prefix_ + std::string(key));
   }
 
+  void flush() override { inner_.flush(); }
+
   std::vector<std::string> keys_with_prefix(std::string_view prefix) override {
     auto keys = inner_.keys_with_prefix(prefix_ + std::string(prefix));
     for (auto& k : keys) k.erase(0, prefix_.size());

@@ -18,8 +18,10 @@ namespace {
 
 struct UdpKv {
   explicit UdpKv(std::uint32_t n, std::uint64_t seed,
-                 core::StackConfig stack = {})
-      : applied(n), hosts(make_local_udp_cluster(n, seed)) {
+                 core::StackConfig stack = {}, UdpBatchConfig batch = {})
+      : applied(n),
+        registry(std::make_unique<obs::MetricsRegistry>()),
+        hosts(make_local_udp_cluster(n, seed, batch, registry.get())) {
     for (auto& a : applied) {
       a = std::make_unique<std::atomic<std::uint64_t>>(0);
     }
@@ -69,12 +71,20 @@ struct UdpKv {
     return pred();
   }
 
-  // `applied` is declared before `hosts` so it is destroyed after them:
-  // ~UdpHost joins the loop thread, which runs the apply callback that
-  // increments these counters right up until the join (TSan-verified).
+  // `applied` and `registry` are declared before `hosts` so they are
+  // destroyed after them: ~UdpHost joins the loop thread, which runs the
+  // apply callback that increments these counters right up until the join,
+  // and unbinds its net_* metrics group (TSan-verified).
   std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> applied;
+  std::unique_ptr<obs::MetricsRegistry> registry;
   std::vector<std::unique_ptr<UdpHost>> hosts;
   NodeFactory factory;
+};
+
+/// Does nothing: a stand-in protocol stack for transport-level tests.
+struct IdleApp final : NodeApp {
+  void start(bool) override {}
+  void on_message(ProcessId, const Wire&) override {}
 };
 
 }  // namespace
@@ -195,4 +205,131 @@ TEST(Udp, OversizedDatagramsAreCountedNotFatal) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_GE(hosts[0]->send_failures(), 1u);
+}
+
+// Regression test for the cancelled-timer leak: the old implementation kept
+// a grow-only list of cancelled ids that was only pruned when the timer it
+// named actually popped, so a cancel-after-fire (the common pattern: a
+// protocol cancels its retry timer from the handler the timer itself
+// triggered) left a tombstone forever and made every pop an O(tombstones)
+// scan. The live-timer set keeps bookkeeping bounded by OUTSTANDING timers.
+TEST(Udp, TimerBookkeepingBoundedUnderCancelAfterFireLoop) {
+  auto hosts = make_local_udp_cluster(1, 6);
+  auto& h = *hosts[0];
+  h.start_node([](Env&) { return std::make_unique<IdleApp>(); }, false);
+
+  for (int i = 0; i < 500; ++i) {
+    TimerId fired_id = 0;
+    std::atomic<bool> fired{false};
+    h.call([&] {
+      fired_id = h.schedule_after(0, [&fired] { fired.store(true); });
+    });
+    while (!fired.load()) std::this_thread::sleep_for(std::chrono::microseconds(200));
+    h.call([&] { h.cancel_timer(fired_id); });  // cancel AFTER it fired
+
+    // And the cancel-before-fire side: schedule far out, cancel immediately.
+    h.call([&] {
+      const TimerId id = h.schedule_after(seconds(3600), [] {});
+      h.cancel_timer(id);
+    });
+  }
+  // 1000 cancels later, nothing may linger (IdleApp schedules no timers of
+  // its own). The old code held ~500 tombstones here.
+  EXPECT_EQ(h.pending_timer_entries(), 0u);
+}
+
+// The batched engine must be behaviorally identical to the one-syscall path
+// (same protocol, same ordering) while demonstrably coalescing syscalls:
+// every 3-peer multisend is one sendmmsg instead of three sendtos.
+TEST(Udp, BatchedModeOrdersCommandsAndCoalescesSyscalls) {
+  UdpBatchConfig batch;
+  batch.enabled = true;
+  UdpKv c(3, 7, {}, batch);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(c.submit_add(static_cast<ProcessId>(i % 3), 1));
+  }
+  ASSERT_TRUE(c.wait_for(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (c.applied[p]->load() < 12) return false;
+        }
+        return true;
+      },
+      seconds(60)));
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(c.read_n(p), 12);
+
+  std::uint64_t syscalls = 0, datagrams = 0;
+  for (const auto& h : c.hosts) {
+    syscalls += h->net_metrics().send_syscalls.load();
+    datagrams += h->net_metrics().send_datagrams.load();
+  }
+  EXPECT_GT(datagrams, 0u);
+  // Gossip/consensus traffic is dominated by 3-way multisends, each of
+  // which coalesces into a single sendmmsg; a strict < would already prove
+  // batching, the 0.8 factor adds headroom against singleton flushes.
+  EXPECT_LT(static_cast<double>(syscalls),
+            0.8 * static_cast<double>(datagrams));
+
+  // The same counters are visible through the registry (net_* bindings).
+  const auto snap = c.registry->snapshot();
+  EXPECT_EQ(snap.sum_by_name("net_send_datagrams"),
+            static_cast<std::int64_t>(datagrams));
+  EXPECT_GT(snap.sum_by_name("net_recv_datagrams"), 0);
+}
+
+// send_failures was host-local state invisible to the obs layer; it must
+// surface in the registry snapshot like every other counter.
+TEST(Udp, SendFailuresVisibleInMetricsRegistry) {
+  obs::MetricsRegistry registry;
+  auto hosts = make_local_udp_cluster(2, 8, {}, &registry);
+  struct Blaster final : NodeApp {
+    explicit Blaster(Env& env) : env_(env) {}
+    void start(bool) override {
+      env_.send(1, Wire{MsgType::kAbGossip, Bytes(70 * 1024, 0xAB)});
+    }
+    void on_message(ProcessId, const Wire&) override {}
+    Env& env_;
+  };
+  hosts[0]->start_node(
+      [](Env& env) { return std::make_unique<Blaster>(env); }, false);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (hosts[0]->send_failures() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto snap = registry.snapshot();
+  EXPECT_GE(snap.value("net_send_failures", {{"node", "0"}}), 1);
+  EXPECT_EQ(snap.value("net_send_failures", {{"node", "1"}}), 0);
+  hosts.clear();  // unbind before the registry dies
+}
+
+// Concurrent external submitters against the batched engine: the send
+// queue and buffer ring are loop-thread-only, the metrics are relaxed
+// atomics — TSan (ctest -L threaded) holds this test to that story.
+TEST(Udp, ConcurrentSubmittersWithBatchingConverge) {
+  UdpBatchConfig batch;
+  batch.enabled = true;
+  batch.send_batch = 4;  // small batches: exercise the chunked flush loop
+  batch.recv_batch = 4;
+  UdpKv c(3, 9, {}, batch);
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> submitters;
+  for (ProcessId p = 0; p < 3; ++p) {
+    submitters.emplace_back([&c, p] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(c.submit_add(p, 1));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  ASSERT_TRUE(c.wait_for(
+      [&] {
+        for (ProcessId p = 0; p < 3; ++p) {
+          if (c.applied[p]->load() < 3 * kPerThread) return false;
+        }
+        return true;
+      },
+      seconds(60)));
+  for (ProcessId p = 0; p < 3; ++p) EXPECT_EQ(c.read_n(p), 3 * kPerThread);
 }

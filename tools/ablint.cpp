@@ -24,9 +24,10 @@
 //                       Casting to `sockaddr*` is exempt (kernel socket API,
 //                       not a wire buffer).
 //
-//   metrics-indexed     Every AbMetrics / ConsensusMetrics / GroupMetrics
-//                       counter field is referenced (as ab_<field> /
-//                       cons_<field> / ab_group_<field>) in the
+//   metrics-indexed     Every AbMetrics / ConsensusMetrics / GroupMetrics /
+//                       NetMetrics counter field is referenced (as
+//                       ab_<field> / cons_<field> / ab_group_<field> /
+//                       net_<field>) in the
 //                       EXPERIMENTS.md metrics index, so no counter can be
 //                       added without documenting which experiment reads it.
 //
@@ -245,7 +246,8 @@ std::vector<Diag> check_metrics_indexed(const std::vector<SourceFile>& src,
   static const std::vector<MetricsStruct> kStructs = {
       {"AbMetrics", "ab_"},
       {"ConsensusMetrics", "cons_"},
-      {"GroupMetrics", "ab_group_"}};
+      {"GroupMetrics", "ab_group_"},
+      {"NetMetrics", "net_"}};
   static const std::regex field_re(
       R"(^\s*(?:RelaxedU64|std::uint64_t)\s+([A-Za-z_]\w*)\s*(?:=\s*0\s*)?;)");
 
